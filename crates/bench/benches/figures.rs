@@ -1,0 +1,75 @@
+//! Criterion wrappers around the figure experiments — one bench target
+//! per paper table/figure, so `cargo bench` demonstrably regenerates every
+//! result. Heavy experiments (training) run at smoke scale here; the
+//! `fig*` binaries run the full bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use neurovectorizer::experiments::{
+    fig1_dot_product_grid, fig2_bruteforce_suite, fig6_action_spaces, fig7_comparison,
+    fig8_polybench, fig9_mibench, figure7_benchmarks, train_framework, Scale,
+};
+use nvc_machine::TargetConfig;
+
+fn bench_fig1(c: &mut Criterion) {
+    let target = TargetConfig::i7_8559u();
+    c.bench_function("fig1/dot_product_grid", |b| {
+        b.iter(|| {
+            let d = fig1_dot_product_grid(black_box(&target));
+            assert!(d.better_than_baseline() > 0);
+            d.best.1
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let target = TargetConfig::i7_8559u();
+    c.bench_function("fig2/bruteforce_suite", |b| {
+        b.iter(|| fig2_bruteforce_suite(black_box(&target)).len())
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut scale = Scale::smoke();
+    scale.iterations = 2;
+    scale.train_kernels = 12;
+    c.bench_function("fig6/action_spaces_smoke", |b| {
+        b.iter(|| fig6_action_spaces(black_box(scale)).len())
+    });
+}
+
+fn bench_fig789(c: &mut Criterion) {
+    // Train once (the expensive part) and time the evaluation sweeps.
+    let (nv, env, _) = train_framework(Scale::smoke());
+    let benches = figure7_benchmarks();
+    c.bench_function("fig7/eval_12_benchmarks_7_methods", |b| {
+        b.iter(|| fig7_comparison(black_box(&nv), &env, &benches).speedups.len())
+    });
+    c.bench_function("fig8/polybench_4_methods", |b| {
+        b.iter(|| fig8_polybench(black_box(&nv)).speedups.len())
+    });
+    c.bench_function("fig9/mibench_3_methods", |b| {
+        b.iter(|| fig9_mibench(black_box(&nv)).speedups.len())
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut scale = Scale::smoke();
+    scale.iterations = 1;
+    scale.train_kernels = 12;
+    scale.train_batch = 64;
+    c.bench_function("fig5/one_ppo_iteration_smoke", |b| {
+        b.iter(|| {
+            let (_, _, stats) = train_framework(black_box(scale));
+            stats.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2, bench_fig6, bench_fig789, bench_training
+);
+criterion_main!(figures);

@@ -1,0 +1,20 @@
+//! §5 extension: the "vanilla deep neural network" alternative — a
+//! learned cost model that ranks VF/IF configurations — evaluated next to
+//! the PPO policy on the Figure-7 benchmarks.
+
+use neurovectorizer::experiments::{
+    ext_ranker_comparison, figure7_benchmarks, train_framework, Scale,
+};
+use nv_bench::print_comparison;
+
+fn main() {
+    let scale = Scale::bench();
+    let (nv, env, _) = train_framework(scale);
+    let data = ext_ranker_comparison(&nv, &env, &figure7_benchmarks(), scale.seed);
+    print_comparison(
+        "Extension (§5): learned cost-model ranker vs PPO policy",
+        &data,
+    );
+    println!("\npaper: proposed as future work — \"equivalent to learning a new cost");
+    println!("model\" that, unlike NNS and decision trees, trains end-to-end.");
+}

@@ -1,0 +1,24 @@
+//! §3.4 extension: reward shaping with compile time. "One can allow a
+//! long compilation time but penalize for it" — this sweep shows the
+//! trade-off curve between execution reward and compile cost.
+
+use neurovectorizer::experiments::{ext_reward_shaping, Scale};
+
+fn main() {
+    let mut scale = Scale::bench();
+    scale.iterations = 15; // three full trainings below
+    let rows = ext_reward_shaping(scale, &[0.0, 0.25, 1.0]);
+    println!("== Extension (§3.4): compile-time-aware reward ==");
+    println!(
+        "{:>8} {:>14} {:>18}",
+        "weight", "exec_reward", "compile/baseline"
+    );
+    for r in &rows {
+        println!(
+            "{:>8.2} {:>14.4} {:>18.3}",
+            r.weight, r.exec_reward, r.compile_ratio
+        );
+    }
+    println!("\nhigher weights steer the agent toward cheaper-to-compile factors");
+    println!("at a small execution-reward cost.");
+}

@@ -1,0 +1,39 @@
+//! Figure 1: dot-product kernel performance for every (VF, IF),
+//! normalized to the baseline cost model (§2.1).
+
+use neurovectorizer::experiments::fig1_dot_product_grid;
+use nvc_machine::TargetConfig;
+
+fn main() {
+    let target = TargetConfig::i7_8559u();
+    let data = fig1_dot_product_grid(&target);
+    println!("== Figure 1: dot product VF x IF grid (normalized to baseline) ==");
+    println!("baseline decision: {}", data.baseline);
+    println!(
+        "baseline over scalar: {:.2}x   (paper: 2.6x)",
+        data.baseline_over_scalar
+    );
+    print!("{:>6}", "VF\\IF");
+    for i in &data.ifs {
+        print!("{i:>9}");
+    }
+    println!();
+    for (vi, vf) in data.vfs.iter().enumerate() {
+        print!("{vf:>6}");
+        for ii in 0..data.ifs.len() {
+            let v = data.normalized[vi][ii];
+            let mark = if v > 1.0 { "*" } else { " " };
+            print!("{v:>8.3}{mark}");
+        }
+        println!();
+    }
+    println!(
+        "\nbest: {} at {:.3}x over baseline  (paper: (VF=64, IF=8) at ~1.2x)",
+        data.best.0, data.best.1
+    );
+    println!(
+        "{} of {} configurations beat the baseline  (paper: 26 of 35)",
+        data.better_than_baseline(),
+        data.vfs.len() * data.ifs.len()
+    );
+}

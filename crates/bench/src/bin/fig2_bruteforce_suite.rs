@@ -1,0 +1,23 @@
+//! Figure 2: brute-force optimum vs the baseline cost model over the
+//! vectorizer test suite (§2.1).
+
+use neurovectorizer::experiments::fig2_bruteforce_suite;
+use nvc_machine::TargetConfig;
+
+fn main() {
+    let entries = fig2_bruteforce_suite(&TargetConfig::i7_8559u());
+    println!("== Figure 2: brute-force best / baseline, vectorizer test suite ==");
+    println!("{:<30}{:>12}", "test", "speedup");
+    let mut max: f64 = 0.0;
+    let mut sum = 0.0;
+    for e in &entries {
+        println!("{:<30}{:>12.3}", e.name, e.best_over_baseline);
+        max = max.max(e.best_over_baseline);
+        sum += e.best_over_baseline.ln();
+    }
+    println!(
+        "\ngeomean {:.3}x, max {:.3}x   (paper: every test >= 1.0x, up to ~1.5x)",
+        (sum / entries.len() as f64).exp(),
+        max
+    );
+}

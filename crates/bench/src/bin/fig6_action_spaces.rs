@@ -1,0 +1,10 @@
+//! Figure 6: discrete vs continuous action-space definitions (§4).
+
+use neurovectorizer::experiments::{fig6_action_spaces, Scale};
+use nv_bench::print_series;
+
+fn main() {
+    let series = fig6_action_spaces(Scale::bench());
+    print_series("Figure 6: action-space definitions", &series);
+    println!("\npaper: the discrete action space performs the best.");
+}

@@ -1,0 +1,13 @@
+//! Figure 8: PolyBench under baseline, Polly, deep RL and RL+Polly
+//! (§4.1).
+
+use neurovectorizer::experiments::{fig8_polybench, train_framework, Scale};
+use nv_bench::print_comparison;
+
+fn main() {
+    let (nv, _env, _) = train_framework(Scale::bench());
+    let data = fig8_polybench(&nv);
+    print_comparison("Figure 8: PolyBench (speedup over baseline)", &data);
+    println!("\npaper: RL 2.08x baseline and 1.16x vs Polly; RL wins 3 of 6;");
+    println!("Polly wins the large-trip-count kernels; RL+Polly reaches 2.92x.");
+}

@@ -1,0 +1,13 @@
+//! Figure 9: MiBench-style programs under baseline, Polly and deep RL
+//! (§4.1).
+
+use neurovectorizer::experiments::{fig9_mibench, train_framework, Scale};
+use nv_bench::print_comparison;
+
+fn main() {
+    let (nv, _env, _) = train_framework(Scale::bench());
+    let data = fig9_mibench(&nv);
+    print_comparison("Figure 9: MiBench (speedup over baseline)", &data);
+    println!("\npaper: RL >= Polly >= baseline on every program; average 1.1x");
+    println!("because loops are a minor fraction of these programs.");
+}

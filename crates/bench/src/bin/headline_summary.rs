@@ -1,0 +1,26 @@
+//! The abstract's headline numbers: average speedup range and distance
+//! from brute force.
+
+use neurovectorizer::experiments::{
+    fig7_comparison, fig8_polybench, fig9_mibench, figure7_benchmarks, headline_summary,
+    train_framework, Scale,
+};
+
+fn main() {
+    let (nv, env, _) = train_framework(Scale::bench());
+    let f7 = fig7_comparison(&nv, &env, &figure7_benchmarks());
+    let f8 = fig8_polybench(&nv);
+    let f9 = fig9_mibench(&nv);
+    let h = headline_summary(&f7, &f8, &f9);
+    println!("== Headline numbers ==");
+    println!("RL average speedup (Figure 7 set): {:.2}x   (paper: 2.67x)", h.rl_average);
+    println!("brute-force average:               {:.2}x", h.brute_force_average);
+    println!(
+        "RL / brute force:                  {:.1}%   (paper: 97%)",
+        h.rl_vs_brute_force * 100.0
+    );
+    println!(
+        "per-suite average range:           {:.2}x - {:.2}x   (paper: 1.29x - 4.73x)",
+        h.range.0, h.range.1
+    );
+}

@@ -1,0 +1,66 @@
+//! Shared printing helpers for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's figures (see
+//! `DESIGN.md` for the experiment index) and prints the series the paper
+//! plots. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p nv-bench --bin fig7_benchmarks
+//! ```
+
+use neurovectorizer::experiments::ComparisonData;
+
+/// Prints a comparison table (benchmarks × methods) with a geomean row.
+pub fn print_comparison(title: &str, data: &ComparisonData) {
+    println!("\n== {title} ==");
+    print!("{:<28}", "benchmark");
+    for m in &data.methods {
+        print!("{m:>14}");
+    }
+    println!();
+    for (bi, b) in data.benchmarks.iter().enumerate() {
+        print!("{b:<28}");
+        for mi in 0..data.methods.len() {
+            print!("{:>14.3}", data.speedups[mi][bi]);
+        }
+        println!();
+    }
+    print!("{:<28}", "geomean");
+    for m in &data.methods {
+        print!("{:>14.3}", data.average(m));
+    }
+    println!();
+}
+
+/// Prints learning-curve series (Figures 5–6 style).
+pub fn print_series(title: &str, series: &[neurovectorizer::experiments::SweepSeries]) {
+    println!("\n== {title} ==");
+    for s in series {
+        println!("-- {}", s.label);
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            "steps", "reward_mean", "total_loss", "entropy"
+        );
+        for p in &s.points {
+            println!(
+                "{:>10} {:>14.4} {:>14.4} {:>12.4}",
+                p.steps, p.reward_mean, p.loss, p.entropy
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_comparison_does_not_panic() {
+        let d = ComparisonData {
+            benchmarks: vec!["k".into()],
+            methods: vec!["baseline".into(), "rl".into()],
+            speedups: vec![vec![1.0], vec![2.5]],
+        };
+        print_comparison("test", &d);
+    }
+}

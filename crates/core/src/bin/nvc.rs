@@ -1,0 +1,160 @@
+//! `nvc` — the NeuroVectorizer command-line tool.
+//!
+//! The deployment story of §4.2: train once, ship the weights, and use the
+//! model as a drop-in pragma injector at build time.
+//!
+//! ```text
+//! nvc train --kernels 160 --iterations 30 --seed 17 --out model.ckpt
+//! nvc vectorize file.c --model model.ckpt        # annotated source on stdout
+//! nvc inspect file.c [--n 1024]                  # per-loop analysis report
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use neurovectorizer::{Compiler, NeuroVectorizer, NvConfig, VectorizeEnv};
+use nvc_datasets::{generator, Kernel};
+use nvc_ir::ParamEnv;
+use nvc_vectorizer::ActionSpace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("vectorize") => cmd_vectorize(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE\n  nvc vectorize FILE.c [--model FILE]\n  nvc inspect FILE.c [--n VALUE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nvc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let kernels: usize = flag(args, "--kernels").map_or(Ok(96), |v| v.parse())?;
+    let iterations: usize = flag(args, "--iterations").map_or(Ok(20), |v| v.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(17), |v| v.parse())?;
+    let out = flag(args, "--out").ok_or("train requires --out FILE")?;
+
+    let cfg = NvConfig::fast().with_seed(seed);
+    let pool = generator::generate(seed, kernels);
+    eprintln!("training on {} kernels, {iterations} iterations…", pool.len());
+    let mut env = VectorizeEnv::new(pool, cfg.target.clone(), &cfg.embed);
+    let mut nv = NeuroVectorizer::new(cfg);
+    let stats = nv.train(&mut env, iterations);
+    for s in stats.iter().step_by(iterations.div_ceil(10).max(1)) {
+        eprintln!(
+            "  steps {:>7}  reward_mean {:+.3}  loss {:+.3}",
+            s.steps, s.reward_mean, s.loss
+        );
+    }
+    std::fs::write(&out, nv.checkpoint())?;
+    eprintln!("wrote checkpoint to {out}");
+    Ok(())
+}
+
+fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        Ok(std::fs::read_to_string(path)?)
+    }
+}
+
+fn cmd_vectorize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_value_position(args, a))
+        .ok_or("vectorize requires a source file (or `-` for stdin)")?;
+    let source = read_source(file)?;
+    let mut nv = NeuroVectorizer::new(NvConfig::fast());
+    if let Some(model) = flag(args, "--model") {
+        let ckpt = std::fs::read_to_string(&model)?;
+        nv.restore(&ckpt)?;
+    }
+    let annotated = nv.vectorize_source(&source)?;
+    println!("{annotated}");
+    Ok(())
+}
+
+/// True when `a` is a positional argument (not the value of a flag).
+fn flag_value_position(args: &[String], a: &String) -> bool {
+    match args.iter().position(|x| x == a) {
+        Some(0) => true,
+        Some(i) => !args[i - 1].starts_with("--"),
+        None => true,
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_value_position(args, a))
+        .ok_or("inspect requires a source file")?;
+    let source = read_source(file)?;
+    let mut env = ParamEnv::new();
+    if let Some(n) = flag(args, "--n") {
+        env = env.with("n", n.parse()?);
+    }
+    let kernel = Kernel::new(file.clone(), "cli", source, env);
+    let compiler = Compiler::default();
+    let loops = compiler.front_end(&kernel)?;
+    let space = ActionSpace::for_target(compiler.target());
+    println!("{} innermost loop(s)\n", loops.len());
+    for l in &loops {
+        println!("loop #{} in `{}` (line {}):", l.loop_index, l.function, l.header_line);
+        println!("  trip: {:?}, step {}", l.ir.trip, l.ir.step);
+        println!(
+            "  accesses: {} ({} loads, {} stores), reductions: {}",
+            l.ir.accesses.len(),
+            l.ir.loads().count(),
+            l.ir.stores().count(),
+            l.ir.reductions.len()
+        );
+        if let Some(b) = &l.ir.blocker {
+            println!("  not vectorizable: {b}");
+        } else {
+            println!("  legal max VF: {}", nvc_ir::legal_max_vf(&l.ir));
+        }
+        let baseline = compiler.vectorizer().baseline_decision(&l.ir);
+        let base = compiler.vectorizer().compile(&l.ir, baseline);
+        println!(
+            "  baseline: {} → {:.0} cycles/execution",
+            baseline, base.timing.cycles
+        );
+        // Best by exhaustive search.
+        let mut best = (baseline, base.timing.cycles);
+        for d in space.iter() {
+            let c = compiler.vectorizer().compile(&l.ir, d);
+            if c.timing.cycles < best.1 {
+                best = (c.decision, c.timing.cycles);
+            }
+        }
+        println!(
+            "  best:     {} → {:.0} cycles/execution ({:.2}x)",
+            best.0,
+            best.1,
+            base.timing.cycles / best.1
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,295 @@
+//! The end-to-end framework: train once, then vectorize arbitrary source.
+//!
+//! Figure 3's outer box. After training, "it can be plugged in as is for
+//! inference without further retraining" — [`NeuroVectorizer::vectorize_source`]
+//! is that inference product: it reads C source, predicts `(VF, IF)` for
+//! every innermost loop and returns the source with pragmas injected
+//! (Figure 4).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nvc_embed::{extract_path_contexts, EmbedConfig, PathSample};
+use nvc_frontend::{extract_loops, inject_pragma, parse_statement, parse_translation_unit};
+use nvc_frontend::{FrontendError, LoopPragma};
+use nvc_machine::TargetConfig;
+use nvc_rl::{ActionDims, IterStats, PpoConfig, PpoTrainer};
+use nvc_vectorizer::{ActionSpace, VectorDecision};
+
+use crate::env::VectorizeEnv;
+
+/// Top-level configuration for the framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvConfig {
+    /// Target machine description.
+    pub target: TargetConfig,
+    /// Embedding-network configuration.
+    pub embed: EmbedConfig,
+    /// PPO configuration.
+    pub ppo: PpoConfig,
+    /// Seed for parameter init and exploration.
+    pub seed: u64,
+}
+
+impl NvConfig {
+    /// The paper's configuration: 340-dim code vectors, 64×64 FCNN, batch
+    /// 4000, lr 5e-5 (§4).
+    pub fn paper() -> Self {
+        let target = TargetConfig::i7_8559u();
+        let dims = ActionDims {
+            n_vf: target.vf_candidates().len(),
+            n_if: target.if_candidates().len(),
+        };
+        NvConfig {
+            target,
+            embed: EmbedConfig::paper(),
+            ppo: PpoConfig {
+                action_dims: dims,
+                ..PpoConfig::default()
+            },
+            seed: 0,
+        }
+    }
+
+    /// A reduced configuration for tests and quick experiments: small
+    /// embedding tables, small batches, higher learning rate.
+    pub fn fast() -> Self {
+        let target = TargetConfig::i7_8559u();
+        let dims = ActionDims {
+            n_vf: target.vf_candidates().len(),
+            n_if: target.if_candidates().len(),
+        };
+        NvConfig {
+            target,
+            embed: EmbedConfig::fast(),
+            ppo: PpoConfig {
+                lr: 2e-3,
+                train_batch: 256,
+                minibatch: 64,
+                epochs: 4,
+                hidden: vec![32, 32],
+                action_dims: dims,
+                ..PpoConfig::default()
+            },
+            seed: 0,
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The trained (or trainable) NeuroVectorizer.
+#[derive(Debug)]
+pub struct NeuroVectorizer {
+    cfg: NvConfig,
+    trainer: PpoTrainer,
+    rng: ChaCha8Rng,
+}
+
+impl NeuroVectorizer {
+    /// Creates an untrained framework instance.
+    pub fn new(cfg: NvConfig) -> Self {
+        let trainer = PpoTrainer::new(&cfg.ppo, &cfg.embed, cfg.seed);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x9E37));
+        NeuroVectorizer { cfg, trainer, rng }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NvConfig {
+        &self.cfg
+    }
+
+    /// The underlying PPO trainer.
+    pub fn trainer(&self) -> &PpoTrainer {
+        &self.trainer
+    }
+
+    /// Trains for `iterations` PPO iterations on `env`.
+    pub fn train(&mut self, env: &mut VectorizeEnv, iterations: usize) -> Vec<IterStats> {
+        self.trainer.train(env, iterations, &mut self.rng)
+    }
+
+    /// Greedy decision for a loop observation.
+    pub fn decide(&self, sample: &PathSample, space: &ActionSpace) -> VectorDecision {
+        let (v, i) = self.trainer.predict(sample);
+        space.decision_from_pair(v, i)
+    }
+
+    /// Embeds a loop sample with the trained encoder (for NNS/decision
+    /// trees, §3.5).
+    pub fn encode(&self, sample: &PathSample) -> Vec<f32> {
+        self.trainer
+            .embedder()
+            .encode(self.trainer.store(), sample)
+    }
+
+    /// Serializes all trained weights (embedding + policy) to the
+    /// `nvc-nn` checkpoint format.
+    pub fn checkpoint(&self) -> String {
+        nvc_nn::serialize::to_string(self.trainer.store())
+    }
+
+    /// Restores weights from a checkpoint produced by
+    /// [`NeuroVectorizer::checkpoint`]. The configuration must match the
+    /// one the checkpoint was trained with.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint is malformed or shapes
+    /// mismatch.
+    pub fn restore(
+        &mut self,
+        checkpoint: &str,
+    ) -> Result<(), nvc_nn::serialize::ParseCheckpointError> {
+        nvc_nn::serialize::load_into(self.trainer.store_mut(), checkpoint)
+    }
+
+    /// The inference product (Figure 4): injects a
+    /// `#pragma clang loop vectorize_width(V) interleave_count(I)` above
+    /// every innermost loop of `source`, chosen by the trained policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrontendError`] if `source` does not parse.
+    pub fn vectorize_source(&self, source: &str) -> Result<String, FrontendError> {
+        let space = ActionSpace::for_target(&self.cfg.target);
+        let tu = parse_translation_unit(source)?;
+        let mut loops: Vec<_> = extract_loops(&tu, source)
+            .into_iter()
+            .filter(|l| l.is_innermost)
+            .collect();
+        // Inject bottom-up so earlier header lines stay valid.
+        loops.sort_by(|a, b| b.header_line.cmp(&a.header_line));
+        let mut out = source.to_string();
+        for l in &loops {
+            let sample = match parse_statement(&l.nest_text) {
+                Ok(stmt) => PathSample::from_contexts(
+                    &extract_path_contexts(&stmt, self.cfg.embed.max_paths),
+                    &self.cfg.embed,
+                ),
+                Err(_) => continue,
+            };
+            let d = self.decide(&sample, &space);
+            out = inject_pragma(
+                &out,
+                l.header_line,
+                LoopPragma {
+                    vectorize_width: d.vf,
+                    interleave_count: d.if_,
+                },
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_datasets::generator;
+
+    #[test]
+    fn vectorize_source_injects_pragmas_on_all_innermost_loops() {
+        let nv = NeuroVectorizer::new(NvConfig::fast());
+        let src = "float a[1024]; float b[1024]; float M[64][64];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0;
+    }
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            M[i][j] = 0.0;
+        }
+    }
+}";
+        let out = nv.vectorize_source(src).expect("vectorize");
+        assert_eq!(out.matches("#pragma clang loop").count(), 2);
+        // The result still parses and the pragmas attach to loops.
+        let tu = parse_translation_unit(&out).unwrap();
+        let loops = extract_loops(&tu, &out);
+        let with_pragma = loops.iter().filter(|l| l.pragma.is_some()).count();
+        assert_eq!(with_pragma, 2);
+        // Only innermost loops are annotated (the outer i loop is not).
+        for l in &loops {
+            if !l.is_innermost {
+                assert!(l.pragma.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn training_improves_reward_on_small_pool() {
+        let cfg = NvConfig::fast();
+        let mut env = VectorizeEnv::new(
+            generator::generate(1, 24),
+            cfg.target.clone(),
+            &cfg.embed,
+        );
+        let mut nv = NeuroVectorizer::new(cfg);
+        let stats = nv.train(&mut env, 12);
+        let first = stats.first().unwrap().reward_mean;
+        let last = stats.last().unwrap().reward_mean;
+        assert!(
+            last > first,
+            "training did not improve reward: {first:.3} → {last:.3}"
+        );
+        // A trained policy should produce positive mean reward (better
+        // than baseline on average).
+        assert!(last > -0.5, "reward collapsed: {last}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_decisions() {
+        let cfg = NvConfig::fast().with_seed(5);
+        let mut env = VectorizeEnv::new(
+            generator::generate(5, 16),
+            cfg.target.clone(),
+            &cfg.embed,
+        );
+        let mut nv = NeuroVectorizer::new(cfg.clone());
+        nv.train(&mut env, 4);
+        let ckpt = nv.checkpoint();
+        let space = env.space().clone();
+        let decisions: Vec<_> = env
+            .contexts()
+            .iter()
+            .map(|c| nv.decide(&c.sample, &space))
+            .collect();
+
+        // A fresh instance with different init restores to the same
+        // behaviour.
+        let mut nv2 = NeuroVectorizer::new(cfg.with_seed(999));
+        nv2.restore(&ckpt).expect("restore");
+        for (ctx, d) in env.contexts().iter().zip(decisions.iter()) {
+            assert_eq!(nv2.decide(&ctx.sample, &space), *d);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architectures() {
+        let mut cfg_big = NvConfig::fast();
+        cfg_big.ppo.hidden = vec![64, 64];
+        let nv_big = NeuroVectorizer::new(cfg_big);
+        let ckpt = nv_big.checkpoint();
+        let mut cfg_small = NvConfig::fast();
+        cfg_small.ppo.hidden = vec![16, 16];
+        let mut nv_small = NeuroVectorizer::new(cfg_small);
+        assert!(nv_small.restore(&ckpt).is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_after_training() {
+        let cfg = NvConfig::fast();
+        let env = VectorizeEnv::new(generator::generate(2, 8), cfg.target.clone(), &cfg.embed);
+        let nv = NeuroVectorizer::new(cfg);
+        let space = env.space().clone();
+        let d1 = nv.decide(&env.contexts()[0].sample, &space);
+        let d2 = nv.decide(&env.contexts()[0].sample, &space);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,483 @@
+//! The synthetic loop generator (§3.2).
+//!
+//! Sixteen kernel families, each randomized along the paper's axes:
+//! parameter names, strides, iteration counts, functionality, instruction
+//! mix, data types and nesting depth. With ~10⁴ parameter combinations per
+//! family, the generator comfortably exceeds the paper's ">10,000
+//! synthetic loop examples".
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use nvc_ir::ParamEnv;
+
+use crate::Kernel;
+
+const ARRAY_NAMES: &[&str] = &[
+    "a", "b", "c", "d", "src", "dst", "buf", "vecx", "vecy", "data", "in0", "out0", "tmp", "acc_v",
+];
+const IV_NAMES: &[&str] = &["i", "j", "k", "idx", "t"];
+const SCALAR_NAMES: &[&str] = &["s", "total", "accum", "m", "best", "r"];
+const TYPES: &[(&str, u32)] = &[
+    ("char", 1),
+    ("short", 2),
+    ("int", 4),
+    ("long", 8),
+    ("float", 4),
+    ("double", 8),
+];
+
+/// Deterministically generates `count` kernels from `seed`.
+pub fn generate(seed: u64, count: usize) -> Vec<Kernel> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|i| generate_one(&mut rng, i)).collect()
+}
+
+/// Generates a single kernel from the family cycle.
+pub fn generate_one(rng: &mut ChaCha8Rng, index: usize) -> Kernel {
+    let mut g = Gen::new(rng);
+    let fam = index % FAMILIES.len();
+    let (family, source, env) = FAMILIES[fam](&mut g);
+    Kernel::new(format!("gen_{family}_{index}"), family, source, env)
+}
+
+/// Names of all generator families.
+pub fn family_names() -> Vec<&'static str> {
+    vec![
+        "copy",
+        "saxpy",
+        "sum_reduce",
+        "dot",
+        "predicate_clip",
+        "if_guard",
+        "strided_complex",
+        "conv_types",
+        "bitwise",
+        "minmax",
+        "stencil3",
+        "memset2d",
+        "matmul",
+        "gather_lut",
+        "reverse",
+        "unroll2",
+    ]
+}
+
+type FamilyFn = fn(&mut Gen<'_>) -> (&'static str, String, ParamEnv);
+
+const FAMILIES: &[FamilyFn] = &[
+    gen_copy,
+    gen_saxpy,
+    gen_sum_reduce,
+    gen_dot,
+    gen_predicate_clip,
+    gen_if_guard,
+    gen_strided_complex,
+    gen_conv_types,
+    gen_bitwise,
+    gen_minmax,
+    gen_stencil3,
+    gen_memset2d,
+    gen_matmul,
+    gen_gather_lut,
+    gen_reverse,
+    gen_unroll2,
+];
+
+struct Gen<'r> {
+    rng: &'r mut ChaCha8Rng,
+    arrays: Vec<&'static str>,
+    ivs: Vec<&'static str>,
+    scalars: Vec<&'static str>,
+}
+
+impl<'r> Gen<'r> {
+    fn new(rng: &'r mut ChaCha8Rng) -> Self {
+        let mut arrays: Vec<&'static str> = ARRAY_NAMES.to_vec();
+        let mut ivs: Vec<&'static str> = IV_NAMES.to_vec();
+        let mut scalars: Vec<&'static str> = SCALAR_NAMES.to_vec();
+        arrays.shuffle(rng);
+        ivs.shuffle(rng);
+        scalars.shuffle(rng);
+        Gen {
+            rng,
+            arrays,
+            ivs,
+            scalars,
+        }
+    }
+
+    fn array(&mut self) -> &'static str {
+        self.arrays.pop().expect("array name pool exhausted")
+    }
+
+    fn iv(&mut self) -> &'static str {
+        self.ivs.pop().expect("iv name pool exhausted")
+    }
+
+    fn scalar(&mut self) -> &'static str {
+        self.scalars.pop().expect("scalar name pool exhausted")
+    }
+
+    /// Random trip count: mixes powers of two, odd sizes, and small/large.
+    fn trip(&mut self) -> i64 {
+        *[64, 100, 128, 256, 500, 512, 1000, 1024, 2000, 2048, 4096]
+            .choose(self.rng)
+            .expect("non-empty")
+    }
+
+    fn numeric_ty(&mut self) -> (&'static str, u32) {
+        *TYPES.choose(self.rng).expect("non-empty")
+    }
+
+    fn float_ty(&mut self) -> (&'static str, u32) {
+        *[("float", 4u32), ("double", 8u32)]
+            .choose(self.rng)
+            .expect("non-empty")
+    }
+
+    fn int_ty(&mut self) -> (&'static str, u32) {
+        *[("char", 1u32), ("short", 2), ("int", 4), ("long", 8)]
+            .choose(self.rng)
+            .expect("non-empty")
+    }
+
+    /// Flip: compile-time constant bound vs runtime parameter.
+    fn runtime_bound(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    fn maybe_align(&mut self) -> &'static str {
+        if self.rng.gen_bool(0.5) {
+            " __attribute__((aligned(64)))"
+        } else {
+            ""
+        }
+    }
+}
+
+/// Renders a kernel: globals + a function around a loop body.
+fn kernel(
+    globals: String,
+    params: &str,
+    body: String,
+    bound_is_runtime: bool,
+    n: i64,
+) -> (String, ParamEnv) {
+    let (sig, env) = if bound_is_runtime {
+        let p = if params.is_empty() {
+            "int n".to_string()
+        } else {
+            format!("int n, {params}")
+        };
+        (p, ParamEnv::new().with("n", n))
+    } else {
+        (params.to_string(), ParamEnv::new())
+    };
+    let src = format!("{globals}\nvoid kernel({sig}) {{\n{body}\n}}\n");
+    (src, env)
+}
+
+fn bound_str(runtime: bool, n: i64) -> String {
+    if runtime {
+        "n".to_string()
+    } else {
+        n.to_string()
+    }
+}
+
+fn gen_copy(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (ty, _) = if g.rng.gen_bool(0.5) {
+        g.int_ty()
+    } else {
+        g.numeric_ty()
+    };
+    let (dst, src_a, iv) = (g.array(), g.array(), g.iv());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let (al1, al2) = (g.maybe_align(), g.maybe_align());
+    let scale = g.rng.gen_range(2..9);
+    let globals = format!("{ty} {dst}[4096]{al1};\n{ty} {src_a}[4096]{al2};");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {dst}[{iv}] = {src_a}[{iv}] * {scale}; }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("copy", src, env)
+}
+
+fn gen_saxpy(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (ty, _) = g.float_ty();
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!(
+        "{ty} {x}[4096]{};\n{ty} {y}[4096]{};",
+        g.maybe_align(),
+        g.maybe_align()
+    );
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {y}[{iv}] = alpha * {x}[{iv}] + {y}[{iv}]; }}"
+    );
+    let params = format!("{ty} alpha");
+    let (src, env) = kernel(globals, &params, body, rt, n);
+    ("saxpy", src, env.with("alpha", 3))
+}
+
+fn gen_sum_reduce(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (ty, _) = g.numeric_ty();
+    let (x, iv, s) = (g.array(), g.iv(), g.scalar());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!("{ty} {x}[4096]{};\n{ty} {s};", g.maybe_align());
+    let body =
+        format!("    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}]; }}");
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("sum_reduce", src, env)
+}
+
+fn gen_dot(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (ty, _) = g.numeric_ty();
+    let (x, y, iv, s) = (g.array(), g.array(), g.iv(), g.scalar());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!(
+        "{ty} {x}[4096]{};\n{ty} {y}[4096]{};\n{ty} {s};",
+        g.maybe_align(),
+        g.maybe_align()
+    );
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}] * {y}[{iv}]; }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("dot", src, env)
+}
+
+fn gen_predicate_clip(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    // Example #3 of the paper.
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let maxv = [127, 255, 1023].choose(g.rng).copied().expect("non-empty");
+    let globals = format!("int {x}[8192];\nint {y}[8192];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ int v = {x}[{iv}]; {y}[{iv}] = (v > {maxv} ? {maxv} : 0); }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("predicate_clip", src, env)
+}
+
+fn gen_if_guard(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (ty, _) = g.float_ty();
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!("{ty} {x}[4096];\n{ty} {y}[4096];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ if ({x}[{iv}] > 0.5) {{ {y}[{iv}] = {x}[{iv}] * 2.0; }} }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("if_guard", src, env)
+}
+
+fn gen_strided_complex(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    // Example #5 of the paper: complex multiply with stride-2 accesses.
+    let (re, bb, cc, im) = (g.array(), g.array(), g.array(), g.array());
+    let iv = g.iv();
+    let n = g.trip().min(2000);
+    let rt = g.runtime_bound();
+    let b = if rt { "n/2-1".to_string() } else { format!("{}", n / 2 - 1) };
+    let globals = format!(
+        "float {re}[4096];\nfloat {bb}[8192];\nfloat {cc}[8192];\nfloat {im}[4096];"
+    );
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{\n        {re}[{iv}] = {bb}[2*{iv}+1] * {cc}[2*{iv}+1] - {bb}[2*{iv}] * {cc}[2*{iv}];\n        {im}[{iv}] = {bb}[2*{iv}] * {cc}[2*{iv}+1] + {bb}[2*{iv}+1] * {cc}[2*{iv}];\n    }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("strided_complex", src, env)
+}
+
+fn gen_conv_types(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    // Example #1 of the paper: narrow→wide conversion, manually unrolled by 2.
+    let (dst, s1) = (g.array(), g.array());
+    let iv = g.iv();
+    let (from_ty, _) = *[("short", 2u32), ("char", 1)].choose(g.rng).expect("non-empty");
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let globals = format!("int {dst}[4096];\n{from_ty} {s1}[4096];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv} += 2) {{\n        {dst}[{iv}] = (int) {s1}[{iv}];\n        {dst}[{iv}+1] = (int) {s1}[{iv}+1];\n    }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("conv_types", src, env)
+}
+
+fn gen_bitwise(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (x, y, z, iv) = (g.array(), g.array(), g.array(), g.iv());
+    let ity = ["int", "unsigned int", "long"].choose(g.rng).copied().expect("non-empty");
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let sh = g.rng.gen_range(1..8);
+    let mask = [0xff, 0x7f, 0xfff].choose(g.rng).copied().expect("non-empty");
+    let globals = format!("{ity} {x}[4096];\n{ity} {y}[4096];\n{ity} {z}[4096];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {z}[{iv}] = (({x}[{iv}] >> {sh}) & {mask}) ^ {y}[{iv}]; }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("bitwise", src, env)
+}
+
+fn gen_minmax(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (x, iv, m) = (g.array(), g.iv(), g.scalar());
+    let (ty, _) = g.float_ty();
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!("{ty} {x}[4096];\n{ty} {m};");
+    let body = if g.rng.gen_bool(0.5) {
+        format!(
+            "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {m} = {x}[{iv}] > {m} ? {x}[{iv}] : {m}; }}"
+        )
+    } else {
+        let f = if ty == "float" { "fminf" } else { "fmin" };
+        format!(
+            "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {m} = {f}({m}, {x}[{iv}]); }}"
+        )
+    };
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("minmax", src, env)
+}
+
+fn gen_stencil3(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let (ty, _) = g.float_ty();
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let globals = format!("{ty} {x}[4100];\n{ty} {y}[4100];");
+    let body = format!(
+        "    for (int {iv} = 1; {iv} < {b}; {iv}++) {{ {y}[{iv}] = ({x}[{iv}-1] + {x}[{iv}] + {x}[{iv}+1]) * 0.3333; }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("stencil3", src, env)
+}
+
+fn gen_memset2d(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    // Example #2 of the paper.
+    let (grid, iv1, iv2) = (g.array(), g.iv(), g.iv());
+    let (ty, _) = g.numeric_ty();
+    let rows = *[32i64, 64, 128].choose(g.rng).expect("non-empty");
+    let cols = *[64i64, 128, 256].choose(g.rng).expect("non-empty");
+    let globals = format!("{ty} {grid}[{rows}][{cols}];");
+    let body = format!(
+        "    for (int {iv1} = 0; {iv1} < {rows}; {iv1}++) {{\n        for (int {iv2} = 0; {iv2} < {cols}; {iv2}++) {{ {grid}[{iv1}][{iv2}] = x; }}\n    }}"
+    );
+    let params = format!("{ty} x");
+    let (src, env) = kernel(globals, &params, body, false, 0);
+    ("memset2d", src, env.with("x", 1))
+}
+
+fn gen_matmul(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    // Example #4 of the paper.
+    let (ma, mb, mc) = (g.array(), g.array(), g.array());
+    let (i, j, k) = (g.iv(), g.iv(), g.iv());
+    let dim = *[32i64, 64, 128, 256].choose(g.rng).expect("non-empty");
+    let globals = format!(
+        "float {ma}[{dim}][{dim}];\nfloat {mb}[{dim}][{dim}];\nfloat {mc}[{dim}][{dim}];"
+    );
+    let body = format!(
+        "    for (int {i} = 0; {i} < {dim}; {i}++) {{\n        for (int {j} = 0; {j} < {dim}; {j}++) {{\n            float inner = 0.0;\n            for (int {k} = 0; {k} < {dim}; {k}++) {{ inner += alpha * {ma}[{i}][{k}] * {mb}[{k}][{j}]; }}\n            {mc}[{i}][{j}] = inner;\n        }}\n    }}"
+    );
+    let (src, env) = kernel(globals, "float alpha", body, false, 0);
+    ("matmul", src, env.with("alpha", 2))
+}
+
+fn gen_gather_lut(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (lut, idx, out, iv) = (g.array(), g.array(), g.array(), g.iv());
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = bound_str(rt, n);
+    let globals = format!("int {lut}[65536];\nint {idx}[4096];\nint {out}[4096];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {out}[{iv}] = {lut}[{idx}[{iv}] & 65535]; }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("gather_lut", src, env)
+}
+
+fn gen_reverse(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let (ty, _) = g.numeric_ty();
+    let n = g.trip();
+    let globals = format!("{ty} {x}[4096];\n{ty} {y}[4096];");
+    let body = format!(
+        "    for (int {iv} = {m}; {iv} >= 0; {iv}--) {{ {y}[{iv}] = {x}[{iv}]; }}",
+        m = n - 1
+    );
+    let (src, env) = kernel(globals, "", body, false, n);
+    ("reverse", src, env)
+}
+
+fn gen_unroll2(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
+    let (x, y, iv) = (g.array(), g.array(), g.iv());
+    let (ty, _) = g.float_ty();
+    let n = g.trip();
+    let rt = g.runtime_bound();
+    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let globals = format!("{ty} {x}[4096];\n{ty} {y}[4096];");
+    let body = format!(
+        "    for (int {iv} = 0; {iv} < {b}; {iv} += 2) {{\n        {y}[{iv}] = {x}[{iv}] * 0.5;\n        {y}[{iv}+1] = {x}[{iv}+1] * 0.5;\n    }}"
+    );
+    let (src, env) = kernel(globals, "", body, rt, n);
+    ("unroll2", src, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_produce_parseable_kernels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for (fi, f) in FAMILIES.iter().enumerate() {
+            for round in 0..8 {
+                let mut g = Gen::new(&mut rng);
+                let (family, src, _env) = f(&mut g);
+                nvc_frontend::parse_translation_unit(&src).unwrap_or_else(|e| {
+                    panic!("family {fi} ({family}) round {round} failed: {e}\n{src}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn family_count_matches_names() {
+        assert_eq!(FAMILIES.len(), family_names().len());
+        assert_eq!(FAMILIES.len(), 16);
+    }
+
+    #[test]
+    fn families_cycle_round_robin() {
+        let ks = generate(5, 32);
+        assert_eq!(ks[0].family, ks[16].family);
+        assert_ne!(ks[0].family, ks[1].family);
+    }
+
+    #[test]
+    fn runtime_bound_kernels_bind_n() {
+        let ks = generate(11, 200);
+        for k in &ks {
+            if k.source.contains("int n,") || k.source.contains("(int n)") {
+                assert!(k.env.value("n").is_some(), "{} missing n binding", k.name);
+            }
+        }
+    }
+}

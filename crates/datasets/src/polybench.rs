@@ -1,0 +1,181 @@
+//! Six PolyBench-style kernels (Figure 8).
+//!
+//! "PolyBench includes benchmarks that perform matrix operations,
+//! decomposition, and linear algebra for which Polly is optimized to run
+//! on" (§4.1). The selection below mirrors that mix: three dense
+//! matrix-matrix kernels where tiling/interchange shine (gemm, 2mm, syrk),
+//! two matrix-vector kernels (atax, mvt) and one stencil (jacobi-2d) where
+//! they do little — reproducing the paper's observation that deep RL wins
+//! on three of the six while Polly wins on the large-iteration-count
+//! kernels.
+
+use nvc_ir::ParamEnv;
+
+use crate::Kernel;
+
+/// The six PolyBench-style kernels.
+pub fn polybench() -> Vec<Kernel> {
+    vec![
+        Kernel::new(
+            "poly_gemm",
+            "polybench",
+            "float GA[256][256]; float GB[256][256]; float GC[256][256];
+void kernel(float alpha) {
+    for (int i = 0; i < 256; i++) {
+        for (int j = 0; j < 256; j++) {
+            for (int k = 0; k < 256; k++) {
+                GC[i][j] += alpha * GA[i][k] * GB[k][j];
+            }
+        }
+    }
+}",
+            ParamEnv::new().with("alpha", 2),
+        ),
+        Kernel::new(
+            "poly_2mm",
+            "polybench",
+            "float MA[256][256]; float MB[256][256]; float MD[256][256];
+float MC[256][256]; float ME[256][256];
+void kernel() {
+    for (int i = 0; i < 256; i++) {
+        for (int j = 0; j < 256; j++) {
+            for (int k = 0; k < 256; k++) {
+                MD[i][j] += MA[i][k] * MB[k][j];
+            }
+        }
+    }
+    for (int i = 0; i < 256; i++) {
+        for (int j = 0; j < 256; j++) {
+            for (int k = 0; k < 256; k++) {
+                ME[i][j] += MD[i][k] * MC[k][j];
+            }
+        }
+    }
+}",
+            ParamEnv::new(),
+        ),
+        Kernel::new(
+            "poly_syrk",
+            "polybench",
+            "float SA[256][256]; float SC[256][256];
+void kernel(float alpha) {
+    for (int i = 0; i < 256; i++) {
+        for (int j = 0; j < 256; j++) {
+            for (int k = 0; k < 256; k++) {
+                SC[i][j] += alpha * SA[i][k] * SA[j][k];
+            }
+        }
+    }
+}",
+            ParamEnv::new().with("alpha", 1),
+        ),
+        Kernel::new(
+            "poly_atax",
+            "polybench",
+            "float AA[384][384]; float ax[384]; float atmp[384]; float ay[384];
+void kernel() {
+    for (int i = 0; i < 384; i++) {
+        float t = 0.0;
+        for (int j = 0; j < 384; j++) {
+            t += AA[i][j] * ax[j];
+        }
+        atmp[i] = t;
+    }
+    for (int i = 0; i < 384; i++) {
+        for (int j = 0; j < 384; j++) {
+            ay[j] += AA[i][j] * atmp[i];
+        }
+    }
+}",
+            ParamEnv::new(),
+        ),
+        Kernel::new(
+            "poly_mvt",
+            "polybench",
+            "float VA[384][384]; float vx1[384]; float vx2[384]; float vy1[384]; float vy2[384];
+void kernel() {
+    for (int i = 0; i < 384; i++) {
+        float t = 0.0;
+        for (int j = 0; j < 384; j++) {
+            t += VA[i][j] * vy1[j];
+        }
+        vx1[i] += t;
+    }
+    for (int i = 0; i < 384; i++) {
+        for (int j = 0; j < 384; j++) {
+            vx2[j] += VA[j][i] * vy2[i];
+        }
+    }
+}",
+            ParamEnv::new(),
+        ),
+        Kernel::new(
+            "poly_jacobi2d",
+            "polybench",
+            "float JA[512][512]; float JB[512][512];
+void kernel() {
+    for (int i = 1; i < 511; i++) {
+        for (int j = 1; j < 511; j++) {
+            JB[i][j] = 0.2 * (JA[i][j] + JA[i][j-1] + JA[i][j+1] + JA[i+1][j] + JA[i-1][j]);
+        }
+    }
+}",
+            ParamEnv::new(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_frontend::parse_translation_unit;
+    use nvc_ir::lower_innermost_loops;
+
+    #[test]
+    fn six_kernels_lower() {
+        let ks = polybench();
+        assert_eq!(ks.len(), 6);
+        for k in &ks {
+            let tu = parse_translation_unit(&k.source).unwrap();
+            let loops = lower_innermost_loops(&tu, &k.source, &k.env).unwrap();
+            assert!(!loops.is_empty(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn gemm_inner_loop_is_reduction_with_strided_b() {
+        let ks = polybench();
+        let gemm = &ks[0];
+        let tu = parse_translation_unit(&gemm.source).unwrap();
+        let loops = lower_innermost_loops(&tu, &gemm.source, &gemm.env).unwrap();
+        let ir = &loops[0].ir;
+        assert_eq!(ir.reductions.len(), 1);
+        assert!(ir
+            .accesses
+            .iter()
+            .any(|a| a.kind == nvc_ir::AccessKind::Strided(256)));
+        assert_eq!(ir.total_iterations(), 256 * 256 * 256);
+    }
+
+    #[test]
+    fn footprints_exceed_l2() {
+        // The Figure-8 story requires memory pressure: each matrix is
+        // 256 KB+, so the combined working set must spill past L2.
+        let ks = polybench();
+        let gemm = &ks[0];
+        let tu = parse_translation_unit(&gemm.source).unwrap();
+        let total: u64 = tu.globals().map(|g| g.size_bytes() as u64).sum();
+        assert!(total > 512 * 1024, "gemm working set too small: {total}");
+    }
+
+    #[test]
+    fn polly_transforms_apply_to_gemm_but_not_jacobi() {
+        // Cross-crate sanity: handled fully in the core pipeline tests;
+        // here we just pin the structural preconditions. gemm: perfect
+        // 0-based nest with divisible bounds. jacobi: starts at 1 → not
+        // tileable by our conservative pass.
+        let ks = polybench();
+        assert!(ks[0].source.contains("for (int k = 0"));
+        assert!(ks[5].source.contains("for (int i = 1"));
+    }
+}

@@ -1,0 +1,44 @@
+//! A fixed stand-in for the LLVM vectorizer test suite (§2.1, Figure 2).
+//!
+//! The paper brute-forces every VF/IF over the test suite shipped with
+//! LLVM (`SingleSource/UnitTests/Vectorizer`) and finds the optimum beats
+//! the baseline cost model on every test, by up to ~1.5×. We reproduce the
+//! suite as one deterministic kernel per generator family — the same
+//! construction §3.2 uses for the training set ("generate … examples
+//! automatically from the LLVM vectorization test-suite").
+
+use crate::generator;
+use crate::Kernel;
+
+/// A fixed seed chosen once; the suite must never change across runs.
+const SUITE_SEED: u64 = 0xF1_6002;
+
+/// The fixed 16-kernel suite, one kernel per family, deterministic.
+pub fn llvm_suite() -> Vec<Kernel> {
+    let mut kernels = generator::generate(SUITE_SEED, 16);
+    for k in &mut kernels {
+        k.name = format!("suite_{}", k.family);
+    }
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_stable() {
+        let a = llvm_suite();
+        let b = llvm_suite();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn suite_covers_every_family() {
+        let names: Vec<String> = llvm_suite().iter().map(|k| k.family.clone()).collect();
+        for fam in generator::family_names() {
+            assert!(names.iter().any(|n| n == fam), "missing family {fam}");
+        }
+    }
+}

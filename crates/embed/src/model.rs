@@ -1,0 +1,225 @@
+//! The attention-based code encoder (code2vec's network half).
+
+use serde::{Deserialize, Serialize};
+
+use nvc_nn::{Graph, NodeId, ParamId, ParamStore, Tensor};
+
+use crate::vocab::PathSample;
+
+/// Hyperparameters of the embedding network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbedConfig {
+    /// Rows of the terminal-token embedding table.
+    pub token_buckets: usize,
+    /// Rows of the path embedding table.
+    pub path_buckets: usize,
+    /// Terminal embedding width.
+    pub token_dim: usize,
+    /// Path embedding width.
+    pub path_dim: usize,
+    /// Code-vector width (the observation the agent sees).
+    pub code_dim: usize,
+    /// Maximum path contexts per loop.
+    pub max_paths: usize,
+}
+
+impl EmbedConfig {
+    /// The paper's configuration: a 340-feature code vector (§3.1).
+    pub fn paper() -> Self {
+        EmbedConfig {
+            token_buckets: 2048,
+            path_buckets: 4096,
+            token_dim: 128,
+            path_dim: 128,
+            code_dim: 340,
+            max_paths: 100,
+        }
+    }
+
+    /// A small configuration for tests and fast experimentation.
+    pub fn fast() -> Self {
+        EmbedConfig {
+            token_buckets: 256,
+            path_buckets: 512,
+            token_dim: 16,
+            path_dim: 16,
+            code_dim: 32,
+            max_paths: 24,
+        }
+    }
+
+    /// Width of one concatenated path-context row.
+    pub fn context_width(&self) -> usize {
+        2 * self.token_dim + self.path_dim
+    }
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The code2vec-style encoder. Owns parameter handles; weights live in the
+/// shared [`ParamStore`] so the PPO update trains them end-to-end.
+#[derive(Debug, Clone)]
+pub struct CodeEmbedder {
+    cfg: EmbedConfig,
+    token_table: ParamId,
+    path_table: ParamId,
+    w_context: ParamId,
+    attention: ParamId,
+}
+
+impl CodeEmbedder {
+    /// Registers the encoder's parameters in `store`.
+    pub fn new(store: &mut ParamStore, cfg: &EmbedConfig) -> Self {
+        let token_table =
+            store.param_uniform("embed.tokens", cfg.token_buckets, cfg.token_dim, 0.25);
+        let path_table = store.param_uniform("embed.paths", cfg.path_buckets, cfg.path_dim, 0.25);
+        let w_context = store.param_xavier("embed.w", cfg.context_width(), cfg.code_dim);
+        let attention = store.param_xavier("embed.attn", cfg.code_dim, 1);
+        CodeEmbedder {
+            cfg: cfg.clone(),
+            token_table,
+            path_table,
+            w_context,
+            attention,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &EmbedConfig {
+        &self.cfg
+    }
+
+    /// Terminal table handle (for tests/inspection).
+    pub fn token_table(&self) -> ParamId {
+        self.token_table
+    }
+
+    /// Path table handle.
+    pub fn path_table(&self) -> ParamId {
+        self.path_table
+    }
+
+    /// Context transform handle.
+    pub fn context_weight(&self) -> ParamId {
+        self.w_context
+    }
+
+    /// Attention vector handle.
+    pub fn attention_vector(&self) -> ParamId {
+        self.attention
+    }
+
+    /// Encodes one loop sample into a `1×code_dim` vector node.
+    ///
+    /// Empty samples (loops with fewer than two leaves) embed to zero.
+    pub fn forward(&self, g: &mut Graph<'_>, sample: &PathSample) -> NodeId {
+        if sample.is_empty() {
+            return g.input(Tensor::zeros(1, self.cfg.code_dim));
+        }
+        let tokens = g.param(self.token_table);
+        let paths = g.param(self.path_table);
+        let w = g.param(self.w_context);
+        let attn = g.param(self.attention);
+
+        let starts = g.gather_rows(tokens, &sample.starts); // n × dt
+        let mids = g.gather_rows(paths, &sample.paths); // n × dp
+        let ends = g.gather_rows(tokens, &sample.ends); // n × dt
+        let ctx = g.concat_cols(&[starts, mids, ends]); // n × (2dt+dp)
+        let proj = g.matmul(ctx, w); // n × code
+        let c = g.tanh(proj);
+
+        let scores = g.matmul(c, attn); // n × 1
+        let scores_row = g.transpose(scores); // 1 × n
+        let alpha = g.softmax_rows(scores_row); // 1 × n
+        g.matmul(alpha, c) // 1 × code
+    }
+
+    /// Convenience: encodes a sample and returns the plain vector (no
+    /// gradients), for inference-time consumers like NNS and decision
+    /// trees.
+    pub fn encode(&self, store: &ParamStore, sample: &PathSample) -> Vec<f32> {
+        let mut g = Graph::new(store);
+        let node = self.forward(&mut g, sample);
+        g.value(node).data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::extract_path_contexts;
+    use nvc_frontend::parse_statement;
+
+    fn sample(src: &str, cfg: &EmbedConfig) -> PathSample {
+        let stmt = parse_statement(src).unwrap();
+        PathSample::from_contexts(&extract_path_contexts(&stmt, cfg.max_paths), cfg)
+    }
+
+    #[test]
+    fn paper_config_is_340_dim() {
+        assert_eq!(EmbedConfig::paper().code_dim, 340);
+        assert_eq!(EmbedConfig::paper().context_width(), 384);
+    }
+
+    #[test]
+    fn encode_returns_code_dim_vector() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let v = e.encode(&store, &sample("for (int i=0;i<n;i++) { a[i] = 0; }", &cfg));
+        assert_eq!(v.len(), cfg.code_dim);
+    }
+
+    #[test]
+    fn empty_sample_encodes_to_zero() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let v = e.encode(
+            &store,
+            &PathSample {
+                starts: vec![],
+                paths: vec![],
+                ends: vec![],
+            },
+        );
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn attention_weights_depend_on_content() {
+        // Two structurally different loops must produce different vectors
+        // under the same (random) weights.
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let v1 = e.encode(&store, &sample("for (int i=0;i<n;i++) { s += a[i]; }", &cfg));
+        let v2 = e.encode(
+            &store,
+            &sample("for (int i=0;i<n;i++) { a[i] = b[2*i] * c[i]; }", &cfg),
+        );
+        let dist: f32 = v1
+            .iter()
+            .zip(v2.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(dist > 1e-6, "different loops should embed differently");
+    }
+
+    #[test]
+    fn embeddings_are_bounded_by_tanh() {
+        // The code vector is a convex combination of tanh outputs.
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let v = e.encode(
+            &store,
+            &sample("for (int i=0;i<n;i++) { a[i] = b[i]*c[i]+d[i]; }", &cfg),
+        );
+        assert!(v.iter().all(|x| x.abs() <= 1.0));
+    }
+}

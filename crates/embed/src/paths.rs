@@ -1,0 +1,398 @@
+//! AST path-context extraction (the code2vec front half).
+//!
+//! A loop statement is flattened into a tree of labelled nodes; each leaf
+//! carries a normalized terminal token. A *path context* is a pair of
+//! terminals plus the up-then-down sequence of interior node labels
+//! connecting them.
+
+use nvc_frontend::ast::{Expr, ExprKind, Stmt, StmtKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One leaf-to-leaf path context: `(start terminal, path string, end
+/// terminal)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathContext {
+    /// Normalized token at the start leaf.
+    pub start: String,
+    /// Rendered interior path (node labels with ↑/↓ direction markers).
+    pub path: String,
+    /// Normalized token at the end leaf.
+    pub end: String,
+}
+
+/// Internal flattened AST node.
+#[derive(Debug)]
+struct TreeNode {
+    label: &'static str,
+    token: Option<String>,
+    children: Vec<usize>,
+    parent: Option<usize>,
+    depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct TreeBuilder {
+    nodes: Vec<TreeNode>,
+    /// Leaf indices in source order.
+    leaves: Vec<usize>,
+    /// Occurrence-ordered variable renaming.
+    var_names: HashMap<String, String>,
+}
+
+impl TreeBuilder {
+    fn add(&mut self, label: &'static str, token: Option<String>, parent: Option<usize>) -> usize {
+        let depth = parent.map_or(0, |p| self.nodes[p].depth + 1);
+        self.nodes.push(TreeNode {
+            label,
+            token,
+            children: Vec::new(),
+            parent,
+            depth,
+        });
+        let id = self.nodes.len() - 1;
+        if let Some(p) = parent {
+            self.nodes[p].children.push(id);
+        }
+        id
+    }
+
+    fn leaf(&mut self, label: &'static str, token: String, parent: usize) {
+        let id = self.add(label, Some(token), Some(parent));
+        self.leaves.push(id);
+    }
+
+    fn rename(&mut self, name: &str) -> String {
+        let next = format!("VAR{}", self.var_names.len());
+        self.var_names
+            .entry(name.to_string())
+            .or_insert(next)
+            .clone()
+    }
+}
+
+/// Buckets numeric literals so magnitudes, not exact values, shape the
+/// embedding.
+pub fn normalize_terminals(v: i64) -> String {
+    match v {
+        0 => "LIT0".into(),
+        1 => "LIT1".into(),
+        2 => "LIT2".into(),
+        v if v > 2 && (v as u64).is_power_of_two() => "LITPOW2".into(),
+        v if (3..=64).contains(&v) => "LITSMALL".into(),
+        v if v < 0 => "LITNEG".into(),
+        _ => "LITBIG".into(),
+    }
+}
+
+fn build_expr(b: &mut TreeBuilder, e: &Expr, parent: usize) {
+    match &e.kind {
+        ExprKind::IntLit(v) => b.leaf("IntLit", normalize_terminals(*v), parent),
+        ExprKind::FloatLit(_) => b.leaf("FloatLit", "FLIT".into(), parent),
+        ExprKind::Ident(name) => {
+            let n = b.rename(name);
+            b.leaf("Ident", n, parent);
+        }
+        ExprKind::Index { base, index } => {
+            let id = b.add("Index", None, Some(parent));
+            build_expr(b, base, id);
+            build_expr(b, index, id);
+        }
+        ExprKind::Call { callee, args } => {
+            let id = b.add("Call", None, Some(parent));
+            // Callee names are semantic (sqrtf vs foo); keep them verbatim.
+            b.leaf("Callee", callee.clone(), id);
+            for a in args {
+                build_expr(b, a, id);
+            }
+        }
+        ExprKind::Unary { op, operand } => {
+            let id = b.add("Unary", None, Some(parent));
+            b.leaf("UnOp", op.symbol().to_string(), id);
+            build_expr(b, operand, id);
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let id = b.add("Binary", None, Some(parent));
+            build_expr(b, lhs, id);
+            b.leaf("BinOp", op.symbol().to_string(), id);
+            build_expr(b, rhs, id);
+        }
+        ExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let id = b.add("Ternary", None, Some(parent));
+            build_expr(b, cond, id);
+            build_expr(b, then_expr, id);
+            build_expr(b, else_expr, id);
+        }
+        ExprKind::Cast { ty, operand } => {
+            let id = b.add("Cast", None, Some(parent));
+            b.leaf("Type", ty.c_name().to_string(), id);
+            build_expr(b, operand, id);
+        }
+        ExprKind::Assign { op, target, value } => {
+            let label = if op.is_some() { "CompoundAssign" } else { "Assign" };
+            let id = b.add(label, None, Some(parent));
+            build_expr(b, target, id);
+            if let Some(op) = op {
+                b.leaf("BinOp", op.symbol().to_string(), id);
+            }
+            build_expr(b, value, id);
+        }
+        ExprKind::IncDec { target, delta, .. } => {
+            let id = b.add("IncDec", None, Some(parent));
+            build_expr(b, target, id);
+            b.leaf("BinOp", if *delta > 0 { "++" } else { "--" }.into(), id);
+        }
+    }
+}
+
+fn build_stmt(b: &mut TreeBuilder, s: &Stmt, parent: Option<usize>) -> usize {
+    match &s.kind {
+        StmtKind::Block(stmts) => {
+            let id = b.add("Block", None, parent);
+            for st in stmts {
+                build_stmt(b, st, Some(id));
+            }
+            id
+        }
+        StmtKind::Decl { ty, declarators } => {
+            let id = b.add("Decl", None, parent);
+            b.leaf("Type", ty.c_name().to_string(), id);
+            for d in declarators {
+                let n = b.rename(&d.name);
+                b.leaf("Ident", n, id);
+                if let Some(init) = &d.init {
+                    build_expr(b, init, id);
+                }
+            }
+            id
+        }
+        StmtKind::Expr(e) => {
+            let id = b.add("ExprStmt", None, parent);
+            build_expr(b, e, id);
+            id
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let id = b.add("For", None, parent);
+            if let Some(i) = init {
+                build_stmt(b, i, Some(id));
+            }
+            if let Some(c) = cond {
+                let cid = b.add("ForCond", None, Some(id));
+                build_expr(b, c, cid);
+            }
+            if let Some(st) = step {
+                let sid = b.add("ForStep", None, Some(id));
+                build_expr(b, st, sid);
+            }
+            build_stmt(b, body, Some(id));
+            id
+        }
+        StmtKind::While { cond, body, .. } => {
+            let id = b.add("While", None, parent);
+            let cid = b.add("WhileCond", None, Some(id));
+            build_expr(b, cond, cid);
+            build_stmt(b, body, Some(id));
+            id
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let id = b.add("If", None, parent);
+            let cid = b.add("IfCond", None, Some(id));
+            build_expr(b, cond, cid);
+            build_stmt(b, then_branch, Some(id));
+            if let Some(e) = else_branch {
+                build_stmt(b, e, Some(id));
+            }
+            id
+        }
+        StmtKind::Return(e) => {
+            let id = b.add("Return", None, parent);
+            if let Some(e) = e {
+                build_expr(b, e, id);
+            }
+            id
+        }
+        StmtKind::Break => b.add("Break", None, parent),
+        StmtKind::Continue => b.add("Continue", None, parent),
+        StmtKind::Empty => b.add("Empty", None, parent),
+    }
+}
+
+/// Renders the path between two leaves: up to the lowest common ancestor,
+/// then down.
+fn render_path(b: &TreeBuilder, from: usize, to: usize) -> String {
+    // Walk both up to equal depth, then in lockstep to the LCA.
+    let mut ua = b.nodes[from].parent;
+    let mut ub = b.nodes[to].parent;
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    while let (Some(a), Some(bb)) = (ua, ub) {
+        if a == bb {
+            break;
+        }
+        if b.nodes[a].depth >= b.nodes[bb].depth {
+            up.push(b.nodes[a].label);
+            ua = b.nodes[a].parent;
+        } else {
+            down.push(b.nodes[bb].label);
+            ub = b.nodes[bb].parent;
+        }
+    }
+    let lca = match (ua, ub) {
+        (Some(a), _) => b.nodes[a].label,
+        _ => "Root",
+    };
+    let mut s = String::new();
+    for l in &up {
+        s.push_str(l);
+        s.push('^');
+    }
+    s.push_str(lca);
+    for l in down.iter().rev() {
+        s.push('v');
+        s.push_str(l);
+    }
+    s
+}
+
+/// Extracts up to `max_paths` path contexts from a loop statement.
+///
+/// All leaf pairs are enumerated in a deterministic order; when there are
+/// more than `max_paths`, pairs are subsampled with a deterministic stride
+/// so the selection spreads over the whole loop body rather than
+/// concentrating at its start.
+pub fn extract_path_contexts(stmt: &Stmt, max_paths: usize) -> Vec<PathContext> {
+    let mut b = TreeBuilder::default();
+    build_stmt(&mut b, stmt, None);
+
+    let n = b.leaves.len();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Bound path length like code2vec (max length 8 + width 2 in
+            // the original); very long paths carry little signal.
+            pairs.push((i, j));
+        }
+    }
+    let selected: Vec<(usize, usize)> = if pairs.len() <= max_paths {
+        pairs
+    } else {
+        let stride = pairs.len() as f64 / max_paths as f64;
+        (0..max_paths)
+            .map(|k| pairs[(k as f64 * stride) as usize])
+            .collect()
+    };
+
+    selected
+        .into_iter()
+        .map(|(i, j)| {
+            let (li, lj) = (b.leaves[i], b.leaves[j]);
+            PathContext {
+                start: b.nodes[li].token.clone().unwrap_or_default(),
+                path: render_path(&b, li, lj),
+                end: b.nodes[lj].token.clone().unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_frontend::parse_statement;
+
+    fn contexts(src: &str) -> Vec<PathContext> {
+        extract_path_contexts(&parse_statement(src).unwrap(), 64)
+    }
+
+    #[test]
+    fn simple_loop_produces_paths() {
+        let c = contexts("for (int i = 0; i < n; i++) { a[i] = b[i]; }");
+        assert!(!c.is_empty());
+        // Terminals are normalized.
+        assert!(c.iter().any(|p| p.start.starts_with("VAR") || p.end.starts_with("VAR")));
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let src = "for (int i = 0; i < n; i++) { s += a[i] * b[i]; }";
+        assert_eq!(contexts(src), contexts(src));
+    }
+
+    #[test]
+    fn renaming_is_alpha_invariant() {
+        let c1 = contexts("for (int i = 0; i < n; i++) { total += x[i]; }");
+        let c2 = contexts("for (int j = 0; j < m; j++) { acc += y[j]; }");
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn literal_buckets() {
+        assert_eq!(normalize_terminals(0), "LIT0");
+        assert_eq!(normalize_terminals(1), "LIT1");
+        assert_eq!(normalize_terminals(2), "LIT2");
+        assert_eq!(normalize_terminals(64), "LITPOW2");
+        assert_eq!(normalize_terminals(37), "LITSMALL");
+        assert_eq!(normalize_terminals(100000), "LITBIG");
+        assert_eq!(normalize_terminals(-5), "LITNEG");
+    }
+
+    #[test]
+    fn literal_magnitude_does_not_change_small_constants() {
+        // 37 and 41 both bucket to LITSMALL → identical path sets.
+        let c1 = contexts("for (int i = 0; i < 37; i++) { a[i] = 0; }");
+        let c2 = contexts("for (int i = 0; i < 41; i++) { a[i] = 0; }");
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn operators_are_terminals() {
+        let c = contexts("for (int i = 0; i < n; i++) { a[i] = b[i] * c[i]; }");
+        assert!(c.iter().any(|p| p.start == "*" || p.end == "*"));
+    }
+
+    #[test]
+    fn max_paths_caps_output() {
+        let src = "for (int i = 0; i < n; i++) { a[i] = b[i]*c[i] + d[i]*e[i] - f[i]; }";
+        let stmt = parse_statement(src).unwrap();
+        let c = extract_path_contexts(&stmt, 10);
+        assert_eq!(c.len(), 10);
+        // Subsampling spreads: first and last pairs differ.
+        assert_ne!(c.first(), c.last());
+    }
+
+    #[test]
+    fn paths_have_direction_markers() {
+        let c = contexts("for (int i = 0; i < n; i++) { a[i] = b[i]; }");
+        assert!(c.iter().any(|p| p.path.contains('^') && p.path.contains('v')));
+    }
+
+    #[test]
+    fn casts_and_calls_surface_in_terminals() {
+        let c = contexts("for (int i = 0; i < n; i++) { a[i] = (int) sqrtf(b[i]); }");
+        assert!(c.iter().any(|p| p.start == "sqrtf" || p.end == "sqrtf"));
+        assert!(c.iter().any(|p| p.start == "int" || p.end == "int"));
+    }
+
+    #[test]
+    fn nested_loops_mention_for_twice_in_paths() {
+        let c = contexts("for (int i = 0; i < n; i++) for (int j = 0; j < n; j++) a[j] = i;");
+        assert!(c.iter().any(|p| {
+            let ups = p.path.matches("For").count();
+            ups >= 2
+        }));
+    }
+}

@@ -1,0 +1,748 @@
+//! Reverse-mode automatic differentiation over a tape of tensor ops.
+//!
+//! Values are computed eagerly as nodes are added; [`Graph::backward`]
+//! walks the tape in reverse accumulating gradients. Gradients of
+//! [`Op::Param`] nodes are exported to the owning
+//! [`ParamStore`](crate::ParamStore) via
+//! [`ParamStore::accumulate_grads`](crate::ParamStore::accumulate_grads).
+//!
+//! Every operation's gradient is validated against central finite
+//! differences in this module's tests.
+
+use std::collections::HashMap;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Index of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // constant operands are kept for Debug output even where backward ignores them
+enum Op {
+    Input,
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    AddRowBroadcast(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    MulElem(NodeId, NodeId),
+    Minimum(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId, f32),
+    Clamp(NodeId, f32, f32),
+    Tanh(NodeId),
+    Relu(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    SoftmaxRows(NodeId),
+    LogSoftmaxRows(NodeId),
+    Transpose(NodeId),
+    GatherRows(NodeId, Vec<usize>),
+    ConcatCols(Vec<NodeId>),
+    ConcatRows(Vec<NodeId>),
+    PickPerRow(NodeId, Vec<usize>),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+}
+
+/// A tape of tensor operations with eager forward evaluation and
+/// reverse-mode gradients.
+#[derive(Debug)]
+pub struct Graph<'s> {
+    store: &'s ParamStore,
+    ops: Vec<Op>,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    ran_backward: bool,
+}
+
+impl<'s> Graph<'s> {
+    /// Creates an empty tape reading parameters from `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Graph {
+            store,
+            ops: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+            ran_backward: false,
+        }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> NodeId {
+        self.ops.push(op);
+        self.values.push(value);
+        self.grads.push(None);
+        NodeId(self.ops.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, n: NodeId) -> &Tensor {
+        &self.values[n.0]
+    }
+
+    /// Gradient of a node (available after [`Graph::backward`]).
+    pub fn grad(&self, n: NodeId) -> Option<&Tensor> {
+        self.grads[n.0].as_ref()
+    }
+
+    // ---- leaf nodes ---------------------------------------------------
+
+    /// A constant input (no gradient flows out of the graph).
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(Op::Input, t)
+    }
+
+    /// A parameter leaf; its gradient is exported to the store.
+    pub fn param(&mut self, p: ParamId) -> NodeId {
+        let value = self.store.get(p).clone();
+        self.push(Op::Param(p), value)
+    }
+
+    // ---- operations ----------------------------------------------------
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Adds a `1×d` bias row to every row of an `n×d` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1×d`.
+    pub fn add_row_broadcast(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (av, bv) = (&self.values[a.0], &self.values[bias.0]);
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(av.cols(), bv.cols(), "bias width mismatch");
+        let mut out = av.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += bv[(0, c)];
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, bias), out)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise product.
+    pub fn mul_elem(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x * y);
+        self.push(Op::MulElem(a, b), v)
+    }
+
+    /// Elementwise minimum (PPO's clipped-surrogate uses this).
+    pub fn minimum(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.values[a.0].zip(&self.values[b.0], f32::min);
+        self.push(Op::Minimum(a, b), v)
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.values[a.0].map(|x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Adds a constant.
+    pub fn add_scalar(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.values[a.0].map(|x| x + c);
+        self.push(Op::AddScalar(a, c), v)
+    }
+
+    /// Clamps to `[lo, hi]` (zero gradient outside).
+    pub fn clamp(&mut self, a: NodeId, lo: f32, hi: f32) -> NodeId {
+        let v = self.values[a.0].map(|x| x.clamp(lo, hi));
+        self.push(Op::Clamp(a, lo, hi), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.values[a.0].map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.values[a.0].map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.values[a.0].map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let v = self.values[a.0].map(f32::ln);
+        self.push(Op::Ln(a), v)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let v = softmax_rows(&self.values[a.0]);
+        self.push(Op::SoftmaxRows(a), v)
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let av = &self.values[a.0];
+        let mut out = av.clone();
+        for r in 0..av.rows() {
+            let row = av.row(r);
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for c in 0..av.cols() {
+                out[(r, c)] = av[(r, c)] - lse;
+            }
+        }
+        self.push(Op::LogSoftmaxRows(a), out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.values[a.0].transposed();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Selects rows of `table` by index (embedding lookup). Gradients
+    /// scatter-add back into the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
+        let t = &self.values[table.0];
+        let mut out = Tensor::zeros(indices.len(), t.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < t.rows(), "gather index out of bounds");
+            out.data_mut()[i * t.cols()..(i + 1) * t.cols()].copy_from_slice(t.row(idx));
+        }
+        self.push(Op::GatherRows(table, indices.to_vec()), out)
+    }
+
+    /// Concatenates tensors with equal row counts along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts differ or `parts` is empty.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = self.values[parts[0].0].rows();
+        let total: usize = parts.iter().map(|p| self.values[p.0].cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut col = 0;
+        for p in parts {
+            let v = &self.values[p.0];
+            assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                for c in 0..v.cols() {
+                    out[(r, col + c)] = v[(r, c)];
+                }
+            }
+            col += v.cols();
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), out)
+    }
+
+    /// Stacks tensors with equal column counts along rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when column counts differ or `parts` is empty.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = self.values[parts[0].0].cols();
+        let total: usize = parts.iter().map(|p| self.values[p.0].rows()).sum();
+        let mut out = Tensor::zeros(total, cols);
+        let mut row = 0;
+        for p in parts {
+            let v = &self.values[p.0];
+            assert_eq!(v.cols(), cols, "concat_rows col mismatch");
+            for r in 0..v.rows() {
+                for c in 0..cols {
+                    out[(row + r, c)] = v[(r, c)];
+                }
+            }
+            row += v.rows();
+        }
+        self.push(Op::ConcatRows(parts.to_vec()), out)
+    }
+
+    /// Picks one element per row (e.g. the log-probability of the action
+    /// taken), returning `n×1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `indices.len()` differs from the row count or any index
+    /// is out of bounds.
+    pub fn pick_per_row(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
+        let v = &self.values[a.0];
+        assert_eq!(v.rows(), indices.len(), "one index per row required");
+        let mut out = Tensor::zeros(v.rows(), 1);
+        for (r, &c) in indices.iter().enumerate() {
+            assert!(c < v.cols(), "pick index out of bounds");
+            out[(r, 0)] = v[(r, c)];
+        }
+        self.push(Op::PickPerRow(a, indices.to_vec()), out)
+    }
+
+    /// Sum of all elements, as `1×1`.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.values[a.0].sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements, as `1×1`.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let t = &self.values[a.0];
+        let v = Tensor::scalar(t.sum() / t.len() as f32);
+        self.push(Op::MeanAll(a), v)
+    }
+
+    // ---- backward -------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `loss` (must be `1×1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar or `backward` was already run.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert!(!self.ran_backward, "backward may only run once per graph");
+        assert_eq!(
+            self.values[loss.0].shape(),
+            (1, 1),
+            "loss must be a scalar"
+        );
+        self.ran_backward = true;
+        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.ops.len()).rev() {
+            let Some(g) = self.grads[i].clone() else {
+                continue;
+            };
+            match self.ops[i].clone() {
+                Op::Input | Op::Param(_) => {}
+                Op::MatMul(a, b) => {
+                    let bt = self.values[b.0].transposed();
+                    let at = self.values[a.0].transposed();
+                    let da = g.matmul(&bt);
+                    let db = at.matmul(&g);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    let mut db = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            db[(0, c)] += g[(r, c)];
+                        }
+                    }
+                    self.accum(a, g);
+                    self.accum(bias, db);
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g.map(|x| -x));
+                }
+                Op::MulElem(a, b) => {
+                    let da = g.zip(&self.values[b.0], |x, y| x * y);
+                    let db = g.zip(&self.values[a.0], |x, y| x * y);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Minimum(a, b) => {
+                    let av = self.values[a.0].clone();
+                    let bv = self.values[b.0].clone();
+                    let da = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(av.data().iter().zip(bv.data().iter()))
+                            .map(|(&gd, (&x, &y))| if x <= y { gd } else { 0.0 })
+                            .collect(),
+                    );
+                    let db = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(av.data().iter().zip(bv.data().iter()))
+                            .map(|(&gd, (&x, &y))| if x > y { gd } else { 0.0 })
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Scale(a, c) => self.accum(a, g.map(|x| x * c)),
+                Op::AddScalar(a, _) => self.accum(a, g),
+                Op::Clamp(a, lo, hi) => {
+                    let da = g.zip(&self.values[a.0], |gd, x| {
+                        if x > lo && x < hi {
+                            gd
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accum(a, da);
+                }
+                Op::Tanh(a) => {
+                    let da = g.zip(&self.values[i], |gd, y| gd * (1.0 - y * y));
+                    self.accum(a, da);
+                }
+                Op::Relu(a) => {
+                    let da = g.zip(&self.values[a.0], |gd, x| if x > 0.0 { gd } else { 0.0 });
+                    self.accum(a, da);
+                }
+                Op::Exp(a) => {
+                    let da = g.zip(&self.values[i], |gd, y| gd * y);
+                    self.accum(a, da);
+                }
+                Op::Ln(a) => {
+                    let da = g.zip(&self.values[a.0], |gd, x| gd / x);
+                    self.accum(a, da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.values[i].clone();
+                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 = (0..y.cols()).map(|c| g[(r, c)] * y[(r, c)]).sum();
+                        for c in 0..y.cols() {
+                            da[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    let y = self.values[i].clone(); // log-probs
+                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let gsum: f32 = (0..y.cols()).map(|c| g[(r, c)]).sum();
+                        for c in 0..y.cols() {
+                            da[(r, c)] = g[(r, c)] - y[(r, c)].exp() * gsum;
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::Transpose(a) => self.accum(a, g.transposed()),
+                Op::GatherRows(table, indices) => {
+                    let t = &self.values[table.0];
+                    let mut dt = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for c in 0..t.cols() {
+                            dt[(idx, c)] += g[(r, c)];
+                        }
+                    }
+                    self.accum(table, dt);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut col = 0;
+                    for p in parts {
+                        let w = self.values[p.0].cols();
+                        let rows = self.values[p.0].rows();
+                        let mut dp = Tensor::zeros(rows, w);
+                        for r in 0..rows {
+                            for c in 0..w {
+                                dp[(r, c)] = g[(r, col + c)];
+                            }
+                        }
+                        self.accum(p, dp);
+                        col += w;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut row = 0;
+                    for p in parts {
+                        let h = self.values[p.0].rows();
+                        let cols = self.values[p.0].cols();
+                        let mut dp = Tensor::zeros(h, cols);
+                        for r in 0..h {
+                            for c in 0..cols {
+                                dp[(r, c)] = g[(row + r, c)];
+                            }
+                        }
+                        self.accum(p, dp);
+                        row += h;
+                    }
+                }
+                Op::PickPerRow(a, indices) => {
+                    let v = &self.values[a.0];
+                    let mut da = Tensor::zeros(v.rows(), v.cols());
+                    for (r, &c) in indices.iter().enumerate() {
+                        da[(r, c)] += g[(r, 0)];
+                    }
+                    self.accum(a, da);
+                }
+                Op::SumAll(a) => {
+                    let gv = g[(0, 0)];
+                    let v = &self.values[a.0];
+                    self.accum(a, Tensor::full(v.rows(), v.cols(), gv));
+                }
+                Op::MeanAll(a) => {
+                    let v = &self.values[a.0];
+                    let gv = g[(0, 0)] / v.len() as f32;
+                    self.accum(a, Tensor::full(v.rows(), v.cols(), gv));
+                }
+            }
+        }
+    }
+
+    fn accum(&mut self, n: NodeId, g: Tensor) {
+        match &mut self.grads[n.0] {
+            Some(existing) => existing.add_scaled(&g, 1.0),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Gradients of every parameter node, merged by [`ParamId`].
+    pub fn param_grads(&self) -> HashMap<ParamId, Tensor> {
+        let mut out: HashMap<ParamId, Tensor> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Op::Param(p) = op {
+                if let Some(g) = &self.grads[i] {
+                    out.entry(*p)
+                        .and_modify(|acc| acc.add_scaled(g, 1.0))
+                        .or_insert_with(|| g.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn softmax_rows(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    for r in 0..t.rows() {
+        let row = t.row(r);
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for c in 0..t.cols() {
+            let e = (t[(r, c)] - m).exp();
+            out[(r, c)] = e;
+            sum += e;
+        }
+        for c in 0..t.cols() {
+            out[(r, c)] /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Central finite-difference check of `d loss / d param` for an
+    /// arbitrary graph builder.
+    fn grad_check(
+        shape: (usize, usize),
+        build: impl Fn(&mut Graph<'_>, NodeId) -> NodeId,
+        seed: u64,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut store = ParamStore::new(seed);
+        let init = Tensor::from_vec(
+            shape.0,
+            shape.1,
+            (0..shape.0 * shape.1)
+                .map(|_| rng.gen_range(-0.9..0.9f32))
+                .collect(),
+        );
+        let p = store.param("p", init);
+
+        // Analytic gradient.
+        let mut g = Graph::new(&store);
+        let leaf = g.param(p);
+        let loss = build(&mut g, leaf);
+        g.backward(loss);
+        let analytic = g.param_grads().remove(&p).expect("param grad");
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        for i in 0..store.get(p).len() {
+            let orig = store.get(p).data()[i];
+            store.get_mut(p).data_mut()[i] = orig + eps;
+            let mut g1 = Graph::new(&store);
+            let leaf = g1.param(p);
+            let l1 = build(&mut g1, leaf);
+            let f1 = g1.value(l1).data()[0];
+
+            store.get_mut(p).data_mut()[i] = orig - eps;
+            let mut g2 = Graph::new(&store);
+            let leaf = g2.param(p);
+            let l2 = build(&mut g2, leaf);
+            let f2 = g2.value(l2).data()[0];
+
+            store.get_mut(p).data_mut()[i] = orig;
+            let numeric = (f1 - f2) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "grad mismatch at {i}: analytic={a} numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul() {
+        grad_check((3, 4), |g, p| {
+            let w = g.input(Tensor::from_vec(4, 2, (0..8).map(|i| i as f32 * 0.1).collect()));
+            let y = g.matmul(p, w);
+            g.sum_all(y)
+        }, 1);
+    }
+
+    #[test]
+    fn grad_matmul_rhs() {
+        grad_check((4, 2), |g, p| {
+            let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.1 - 0.5).collect()));
+            let y = g.matmul(x, p);
+            g.sum_all(y)
+        }, 2);
+    }
+
+    #[test]
+    fn grad_tanh_relu_exp_ln() {
+        grad_check((2, 3), |g, p| {
+            let t = g.tanh(p);
+            let r = g.relu(t);
+            let e = g.exp(r);
+            let pos = g.add_scalar(e, 1.0);
+            let l = g.ln(pos);
+            g.sum_all(l)
+        }, 3);
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        grad_check((2, 4), |g, p| {
+            let s = g.softmax_rows(p);
+            let w = g.input(Tensor::from_vec(2, 4, vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4, 0.8, -0.5]));
+            let m = g.mul_elem(s, w);
+            g.sum_all(m)
+        }, 4);
+    }
+
+    #[test]
+    fn grad_log_softmax_rows() {
+        grad_check((2, 5), |g, p| {
+            let s = g.log_softmax_rows(p);
+            let picked = g.pick_per_row(s, &[1, 3]);
+            g.sum_all(picked)
+        }, 5);
+    }
+
+    #[test]
+    fn grad_gather_rows() {
+        grad_check((5, 3), |g, p| {
+            let rows = g.gather_rows(p, &[0, 2, 2, 4]);
+            let sq = g.mul_elem(rows, rows);
+            g.sum_all(sq)
+        }, 6);
+    }
+
+    #[test]
+    fn grad_concat_and_transpose() {
+        grad_check((2, 3), |g, p| {
+            let t = g.transpose(p); // 3x2
+            let c = g.concat_cols(&[t, t]); // 3x4
+            let r = g.concat_rows(&[c, c]); // 6x4
+            let sq = g.mul_elem(r, r);
+            g.mean_all(sq)
+        }, 7);
+    }
+
+    #[test]
+    fn grad_minimum_and_clamp() {
+        grad_check((3, 3), |g, p| {
+            let s = g.scale(p, 2.0);
+            let c = g.clamp(s, -0.8, 0.8);
+            let m = g.minimum(s, c);
+            g.sum_all(m)
+        }, 8);
+    }
+
+    #[test]
+    fn grad_add_sub_broadcast() {
+        grad_check((1, 4), |g, p| {
+            let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.05).collect()));
+            let y = g.add_row_broadcast(x, p);
+            let z = g.sub(y, x);
+            let w = g.add(z, y);
+            g.mean_all(w)
+        }, 9);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let store = ParamStore::new(0);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32).sin()).collect()));
+        let s = g.softmax_rows(x);
+        for r in 0..3 {
+            let sum: f32 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let store = ParamStore::new(0);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let ls = g.log_softmax_rows(x);
+        let s = g.softmax_rows(x);
+        for i in 0..6 {
+            assert!((g.value(ls).data()[i] - g.value(s).data()[i].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a scalar")]
+    fn backward_requires_scalar() {
+        let store = ParamStore::new(0);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x);
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        let mut store = ParamStore::new(0);
+        let p = store.param("p", Tensor::scalar(3.0));
+        let mut g = Graph::new(&store);
+        let a = g.param(p);
+        let b = g.param(p);
+        // loss = a * b = p^2 → dp = 2p = 6.
+        let loss = g.mul_elem(a, b);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert!((grads[&p].data()[0] - 6.0).abs() < 1e-5);
+    }
+}

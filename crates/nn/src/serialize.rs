@@ -1,0 +1,183 @@
+//! A small self-describing text checkpoint format.
+//!
+//! The sanctioned offline dependency set includes `serde` but no concrete
+//! format crate, so checkpoints use a simple line-oriented format:
+//!
+//! ```text
+//! nvc-nn-checkpoint v1
+//! param <name> <rows> <cols>
+//! <row of f32 values separated by spaces>
+//! …
+//! ```
+//!
+//! Values round-trip exactly via hexadecimal bit patterns.
+
+use std::fmt::Write as _;
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// Serializes every parameter of `store` to the checkpoint format.
+pub fn to_string(store: &ParamStore) -> String {
+    let mut out = String::from("nvc-nn-checkpoint v1\n");
+    for (_, name, t) in store.iter() {
+        let _ = writeln!(out, "param {} {} {}", name, t.rows(), t.cols());
+        for r in 0..t.rows() {
+            let row = t.row(r);
+            let mut line = String::with_capacity(row.len() * 9);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                let _ = write!(line, "{:08x}", v.to_bits());
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Errors from parsing a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCheckpointError {
+    message: String,
+    line: usize,
+}
+
+impl std::fmt::Display for ParseCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCheckpointError {}
+
+fn err(message: impl Into<String>, line: usize) -> ParseCheckpointError {
+    ParseCheckpointError {
+        message: message.into(),
+        line,
+    }
+}
+
+/// Parses a checkpoint back into `(name, tensor)` pairs.
+///
+/// # Errors
+///
+/// Returns [`ParseCheckpointError`] on any structural or numeric problem.
+pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, ParseCheckpointError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err("empty checkpoint", 1))?;
+    if header.trim() != "nvc-nn-checkpoint v1" {
+        return Err(err("bad header", 1));
+    }
+    let mut out = Vec::new();
+    while let Some((ln, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("param") {
+            return Err(err("expected `param`", ln + 1));
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| err("missing name", ln + 1))?
+            .to_string();
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad rows", ln + 1))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad cols", ln + 1))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let (rln, row) = lines
+                .next()
+                .ok_or_else(|| err("unexpected end of tensor", ln + 1))?;
+            for tok in row.split_whitespace() {
+                let bits = u32::from_str_radix(tok, 16)
+                    .map_err(|_| err(format!("bad value `{tok}`"), rln + 1))?;
+                data.push(f32::from_bits(bits));
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(err("tensor size mismatch", ln + 1));
+        }
+        out.push((name, Tensor::from_vec(rows, cols, data)));
+    }
+    Ok(out)
+}
+
+/// Loads checkpoint values into `store`, matching parameters by name.
+///
+/// # Errors
+///
+/// Returns an error when a checkpoint entry has no matching parameter or
+/// the shapes differ.
+pub fn load_into(store: &mut ParamStore, text: &str) -> Result<(), ParseCheckpointError> {
+    let entries = parse(text)?;
+    for (name, tensor) in entries {
+        let id = store
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .map(|(id, _, _)| id)
+            .ok_or_else(|| err(format!("no parameter named `{name}`"), 0))?;
+        if store.get(id).shape() != tensor.shape() {
+            return Err(err(format!("shape mismatch for `{name}`"), 0));
+        }
+        *store.get_mut(id) = tensor;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let mut s = ParamStore::new(11);
+        s.param_xavier("enc.w", 7, 5);
+        s.param("enc.b", Tensor::from_vec(1, 3, vec![0.1, -2.5e-8, f32::MIN_POSITIVE]));
+        let text = to_string(&s);
+
+        let mut s2 = ParamStore::new(0);
+        let w = s2.param("enc.w", Tensor::zeros(7, 5));
+        let b = s2.param("enc.b", Tensor::zeros(1, 3));
+        load_into(&mut s2, &text).unwrap();
+        assert_eq!(s2.get(w).data(), s.iter().next().unwrap().2.data());
+        assert_eq!(s2.get(b).data()[2], f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(parse("garbage\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncated_tensor() {
+        let text = "nvc-nn-checkpoint v1\nparam w 2 2\n3f800000 3f800000\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut s = ParamStore::new(0);
+        s.param("w", Tensor::zeros(1, 2));
+        let text = "nvc-nn-checkpoint v1\nparam w 2 2\n3f800000 3f800000\n3f800000 3f800000\n";
+        assert!(load_into(&mut s, text).is_err());
+    }
+
+    #[test]
+    fn load_rejects_unknown_param() {
+        let mut s = ParamStore::new(0);
+        s.param("other", Tensor::zeros(1, 1));
+        let text = "nvc-nn-checkpoint v1\nparam w 1 1\n3f800000\n";
+        assert!(load_into(&mut s, text).is_err());
+    }
+}

@@ -1,0 +1,559 @@
+//! PPO training loop for the contextual bandit.
+//!
+//! One training *iteration* collects `train_batch` single-step episodes
+//! (the paper's batch-size axis in Figure 5 sweeps 500/1000/4000), computes
+//! advantages against the value baseline, and runs several epochs of
+//! clipped-surrogate minibatch updates. Gradients flow through the policy
+//! *and* the code2vec encoder — the end-to-end property the paper
+//! emphasizes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use nvc_embed::{CodeEmbedder, EmbedConfig, PathSample};
+use nvc_nn::{Adam, Graph, NodeId, ParamStore, Tensor};
+
+use crate::policy::{PolicyConfig, PolicyNet};
+use crate::spaces::{ActionDims, ActionSpaceKind};
+
+/// The environment interface: a pool of loop contexts and a reward oracle.
+///
+/// Rewards follow §3.3: `(t_baseline − t_agent) / t_baseline`, with −9 for
+/// compile timeouts — but the trainer is agnostic to the exact definition.
+pub trait BanditEnv {
+    /// Number of available contexts (loops).
+    fn num_contexts(&self) -> usize;
+
+    /// The path-context sample of loop `idx`.
+    fn context(&self, idx: usize) -> &PathSample;
+
+    /// The discrete action dimensions.
+    fn action_dims(&self) -> ActionDims;
+
+    /// Executes action `(vf_idx, if_idx)` on loop `idx` and returns the
+    /// reward.
+    fn reward(&mut self, idx: usize, action: (usize, usize)) -> f64;
+}
+
+/// PPO hyperparameters (defaults follow §4 of the paper and RLlib's PPO).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Adam learning rate (paper default 5e-5; swept in Figure 5).
+    pub lr: f32,
+    /// Episodes collected per iteration (paper default 4000).
+    pub train_batch: usize,
+    /// SGD minibatch size.
+    pub minibatch: usize,
+    /// SGD epochs per iteration.
+    pub epochs: usize,
+    /// PPO clip parameter.
+    pub clip: f32,
+    /// Value-loss coefficient.
+    pub vf_coef: f32,
+    /// Entropy-bonus coefficient.
+    pub ent_coef: f32,
+    /// Hidden widths of the FCNN (paper default 64×64).
+    pub hidden: Vec<usize>,
+    /// Action parameterization (Figure 6).
+    pub action_space: ActionSpaceKind,
+    /// Discrete action dimensions.
+    pub action_dims: ActionDims,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            lr: 5e-5,
+            train_batch: 4000,
+            minibatch: 128,
+            epochs: 8,
+            clip: 0.2,
+            vf_coef: 0.5,
+            ent_coef: 0.01,
+            hidden: vec![64, 64],
+            action_space: ActionSpaceKind::Discrete,
+            action_dims: ActionDims { n_vf: 7, n_if: 5 },
+            max_grad_norm: 0.5,
+        }
+    }
+}
+
+/// Statistics of one training iteration (the curves plotted in Figures
+/// 5–6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterStats {
+    /// Environment steps taken so far (cumulative).
+    pub steps: u64,
+    /// Mean reward of the iteration's batch.
+    pub reward_mean: f64,
+    /// Total PPO loss (last epoch average).
+    pub loss: f64,
+    /// Policy (surrogate) component.
+    pub policy_loss: f64,
+    /// Value component.
+    pub value_loss: f64,
+    /// Entropy of the policy.
+    pub entropy: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Transition {
+    ctx: usize,
+    action: (usize, usize),
+    /// Raw continuous sample (unused for discrete).
+    raw: [f32; 2],
+    logp_old: f32,
+    reward: f64,
+    value: f32,
+    advantage: f32,
+}
+
+/// The PPO trainer: embedder + policy sharing one parameter store.
+#[derive(Debug)]
+pub struct PpoTrainer {
+    cfg: PpoConfig,
+    store: ParamStore,
+    embedder: CodeEmbedder,
+    policy: PolicyNet,
+    adam: Adam,
+    steps: u64,
+}
+
+impl PpoTrainer {
+    /// Builds a trainer with a fresh embedder and policy.
+    pub fn new(cfg: &PpoConfig, embed_cfg: &EmbedConfig, seed: u64) -> Self {
+        let mut store = ParamStore::new(seed);
+        let embedder = CodeEmbedder::new(&mut store, embed_cfg);
+        let policy = PolicyNet::new(
+            &mut store,
+            &PolicyConfig {
+                input_dim: embed_cfg.code_dim,
+                hidden: cfg.hidden.clone(),
+                dims: cfg.action_dims,
+                kind: cfg.action_space,
+            },
+        );
+        PpoTrainer {
+            cfg: cfg.clone(),
+            adam: Adam::new(cfg.lr),
+            store,
+            embedder,
+            policy,
+            steps: 0,
+        }
+    }
+
+    /// The shared parameter store (for checkpointing).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable store access (for checkpoint loading).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The trained encoder (NNS and decision trees reuse it, §3.5).
+    pub fn embedder(&self) -> &CodeEmbedder {
+        &self.embedder
+    }
+
+    /// Cumulative environment steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs `iterations` training iterations, returning per-iteration
+    /// statistics.
+    pub fn train(
+        &mut self,
+        env: &mut impl BanditEnv,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<IterStats> {
+        (0..iterations)
+            .map(|_| self.train_iteration(env, rng))
+            .collect()
+    }
+
+    /// One collect + update cycle.
+    pub fn train_iteration(&mut self, env: &mut impl BanditEnv, rng: &mut impl Rng) -> IterStats {
+        let mut batch = self.collect(env, rng);
+        self.steps += batch.len() as u64;
+        let reward_mean = batch.iter().map(|t| t.reward).sum::<f64>() / batch.len() as f64;
+
+        // Advantages: single-step episodes, so A = r − V(s), normalized.
+        let mean_adv =
+            batch.iter().map(|t| t.reward as f32 - t.value).sum::<f32>() / batch.len() as f32;
+        let var = batch
+            .iter()
+            .map(|t| {
+                let a = t.reward as f32 - t.value - mean_adv;
+                a * a
+            })
+            .sum::<f32>()
+            / batch.len() as f32;
+        let std = var.sqrt().max(1e-6);
+        for t in &mut batch {
+            t.advantage = (t.reward as f32 - t.value - mean_adv) / std;
+        }
+
+        let mut last = (0.0, 0.0, 0.0, 0.0);
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(rng);
+            let mut sums = (0.0, 0.0, 0.0, 0.0);
+            let mut count = 0;
+            for chunk in order.chunks(self.cfg.minibatch) {
+                let (pl, vl, ent, total) = self.update_minibatch(env, &batch, chunk);
+                sums.0 += pl;
+                sums.1 += vl;
+                sums.2 += ent;
+                sums.3 += total;
+                count += 1;
+            }
+            let c = count as f64;
+            last = (sums.0 / c, sums.1 / c, sums.2 / c, sums.3 / c);
+        }
+
+        IterStats {
+            steps: self.steps,
+            reward_mean,
+            loss: last.3,
+            policy_loss: last.0,
+            value_loss: last.1,
+            entropy: last.2,
+        }
+    }
+
+    /// Greedy (deterministic) action for a loop sample.
+    pub fn predict(&self, sample: &PathSample) -> (usize, usize) {
+        let mut g = Graph::new(&self.store);
+        let obs = self.embedder.forward(&mut g, sample);
+        let out = self.policy.forward(&mut g, obs);
+        match self.cfg.action_space {
+            ActionSpaceKind::Discrete => {
+                let lv = g.value(out.logits_vf.expect("discrete"));
+                let li = g.value(out.logits_if.expect("discrete"));
+                (argmax(lv.row(0)), argmax(li.row(0)))
+            }
+            ActionSpaceKind::Continuous1D => {
+                let mu = g.value(out.mu.expect("continuous")).data()[0];
+                self.cfg.action_dims.decode_1d(mu)
+            }
+            ActionSpaceKind::Continuous2D => {
+                let m = g.value(out.mu.expect("continuous"));
+                self.cfg.action_dims.decode_2d(m.data()[0], m.data()[1])
+            }
+        }
+    }
+
+    /// The value estimate for a sample (used by analysis tooling).
+    pub fn value_of(&self, sample: &PathSample) -> f32 {
+        let mut g = Graph::new(&self.store);
+        let obs = self.embedder.forward(&mut g, sample);
+        let out = self.policy.forward(&mut g, obs);
+        g.value(out.value).data()[0]
+    }
+
+    // ------------------------------------------------------------------
+
+    fn collect(&mut self, env: &mut impl BanditEnv, rng: &mut impl Rng) -> Vec<Transition> {
+        let dims = env.action_dims();
+        assert_eq!(
+            dims, self.cfg.action_dims,
+            "environment action dims must match the trainer configuration"
+        );
+        let mut out = Vec::with_capacity(self.cfg.train_batch);
+        for _ in 0..self.cfg.train_batch {
+            let ctx = rng.gen_range(0..env.num_contexts());
+            let sample = env.context(ctx).clone();
+            let mut g = Graph::new(&self.store);
+            let obs = self.embedder.forward(&mut g, &sample);
+            let pol = self.policy.forward(&mut g, obs);
+            let value = g.value(pol.value).data()[0];
+
+            let (action, raw, logp_old) = match self.cfg.action_space {
+                ActionSpaceKind::Discrete => {
+                    let lv = g.value(pol.logits_vf.expect("discrete")).row(0).to_vec();
+                    let li = g.value(pol.logits_if.expect("discrete")).row(0).to_vec();
+                    let (av, lpv) = sample_categorical(&lv, rng);
+                    let (ai, lpi) = sample_categorical(&li, rng);
+                    ((av, ai), [0.0, 0.0], lpv + lpi)
+                }
+                ActionSpaceKind::Continuous1D => {
+                    let mu = g.value(pol.mu.expect("continuous")).data()[0];
+                    let std = self.log_std_values()[0].exp();
+                    let x = mu + std * gaussian(rng);
+                    let lp = gaussian_logp(x, mu, std);
+                    (dims.decode_1d(x), [x, 0.0], lp)
+                }
+                ActionSpaceKind::Continuous2D => {
+                    let m = g.value(pol.mu.expect("continuous")).data().to_vec();
+                    let stds = self.log_std_values();
+                    let x0 = m[0] + stds[0].exp() * gaussian(rng);
+                    let x1 = m[1] + stds[1].exp() * gaussian(rng);
+                    let lp = gaussian_logp(x0, m[0], stds[0].exp())
+                        + gaussian_logp(x1, m[1], stds[1].exp());
+                    (dims.decode_2d(x0, x1), [x0, x1], lp)
+                }
+            };
+            drop(g);
+            let reward = env.reward(ctx, action);
+            out.push(Transition {
+                ctx,
+                action,
+                raw,
+                logp_old,
+                reward,
+                value,
+                advantage: 0.0,
+            });
+        }
+        out
+    }
+
+    fn log_std_values(&self) -> Vec<f32> {
+        self.policy
+            .log_std()
+            .map(|p| self.store.get(p).data().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Builds the PPO loss for one minibatch and applies a gradient step.
+    /// Returns `(policy_loss, value_loss, entropy, total_loss)`.
+    fn update_minibatch(
+        &mut self,
+        env: &impl BanditEnv,
+        batch: &[Transition],
+        idxs: &[usize],
+    ) -> (f64, f64, f64, f64) {
+        let n = idxs.len();
+        let mut g = Graph::new(&self.store);
+
+        // Batched observation: embed each loop, stack rows.
+        let rows: Vec<NodeId> = idxs
+            .iter()
+            .map(|&i| self.embedder.forward(&mut g, env.context(batch[i].ctx)))
+            .collect();
+        let obs = g.concat_rows(&rows);
+        let pol = self.policy.forward(&mut g, obs);
+
+        let adv = g.input(Tensor::from_vec(
+            n,
+            1,
+            idxs.iter().map(|&i| batch[i].advantage).collect(),
+        ));
+        let logp_old = g.input(Tensor::from_vec(
+            n,
+            1,
+            idxs.iter().map(|&i| batch[i].logp_old).collect(),
+        ));
+        let returns = g.input(Tensor::from_vec(
+            n,
+            1,
+            idxs.iter().map(|&i| batch[i].reward as f32).collect(),
+        ));
+
+        let (logp_new, entropy) = match self.cfg.action_space {
+            ActionSpaceKind::Discrete => {
+                let lv = pol.logits_vf.expect("discrete");
+                let li = pol.logits_if.expect("discrete");
+                let lsm_v = g.log_softmax_rows(lv);
+                let lsm_i = g.log_softmax_rows(li);
+                let av: Vec<usize> = idxs.iter().map(|&i| batch[i].action.0).collect();
+                let ai: Vec<usize> = idxs.iter().map(|&i| batch[i].action.1).collect();
+                let pv = g.pick_per_row(lsm_v, &av);
+                let pi = g.pick_per_row(lsm_i, &ai);
+                let logp = g.add(pv, pi);
+                let ent = {
+                    let e1 = categorical_entropy(&mut g, lv, lsm_v);
+                    let e2 = categorical_entropy(&mut g, li, lsm_i);
+                    g.add(e1, e2)
+                };
+                let ent_mean = g.mean_all(ent);
+                (logp, ent_mean)
+            }
+            ActionSpaceKind::Continuous1D | ActionSpaceKind::Continuous2D => {
+                let dims = if self.cfg.action_space == ActionSpaceKind::Continuous1D {
+                    1
+                } else {
+                    2
+                };
+                let mu = pol.mu.expect("continuous");
+                let ls_param = self.policy.log_std().expect("continuous");
+                let ls = g.param(ls_param); // 1 × dims
+                let actions = g.input(Tensor::from_vec(
+                    n,
+                    dims,
+                    idxs.iter()
+                        .flat_map(|&i| batch[i].raw[..dims].iter().copied())
+                        .collect(),
+                ));
+                // logp = Σ_d [ -0.5((x-μ)/σ)² - logσ - 0.5 ln 2π ]
+                let diff = g.sub(actions, mu);
+                let neg_ls = g.scale(ls, -1.0);
+                let inv_std_row = g.exp(neg_ls); // 1 × dims
+                let ones = g.input(Tensor::full(n, 1, 1.0));
+                let inv_std = g.matmul(ones, inv_std_row); // n × dims
+                let z = g.mul_elem(diff, inv_std);
+                let z2 = g.mul_elem(z, z);
+                let half_z2 = g.scale(z2, -0.5);
+                let ls_b = g.matmul(ones, ls); // broadcast logσ
+                let t1 = g.sub(half_z2, ls_b);
+                let t2 = g.add_scalar(t1, -0.918_938_5); // −½ln2π
+                // Row-sum over dims → n × 1.
+                let ones_d = g.input(Tensor::full(dims, 1, 1.0));
+                let logp = g.matmul(t2, ones_d);
+                // Entropy = Σ_d (½ + ½ln2π + logσ).
+                let ent_row = g.add_scalar(ls, 1.418_938_5);
+                let ent = g.sum_all(ent_row);
+                (logp, ent)
+            }
+        };
+
+        // Clipped surrogate.
+        let delta = g.sub(logp_new, logp_old);
+        let ratio = g.exp(delta);
+        let s1 = g.mul_elem(ratio, adv);
+        let clipped = g.clamp(ratio, 1.0 - self.cfg.clip, 1.0 + self.cfg.clip);
+        let s2 = g.mul_elem(clipped, adv);
+        let surr = g.minimum(s1, s2);
+        let surr_mean = g.mean_all(surr);
+        let policy_loss = g.scale(surr_mean, -1.0);
+
+        // Value regression to the reward.
+        let vdiff = g.sub(pol.value, returns);
+        let vsq = g.mul_elem(vdiff, vdiff);
+        let value_loss = g.mean_all(vsq);
+
+        let vterm = g.scale(value_loss, self.cfg.vf_coef);
+        let eterm = g.scale(entropy, -self.cfg.ent_coef);
+        let partial = g.add(policy_loss, vterm);
+        let total = g.add(partial, eterm);
+
+        let pl = f64::from(g.value(policy_loss).data()[0]);
+        let vl = f64::from(g.value(value_loss).data()[0]);
+        let en = f64::from(g.value(entropy).data()[0]);
+        let tl = f64::from(g.value(total).data()[0]);
+
+        g.backward(total);
+        let grads = g.param_grads();
+        drop(g);
+        self.store.apply_grads(grads);
+        self.store.clip_grad_norm(self.cfg.max_grad_norm);
+        self.adam.step(&mut self.store);
+        self.store.zero_grads();
+
+        (pl, vl, en, tl)
+    }
+}
+
+/// `-Σ p log p` per row, as an `n × 1` node.
+fn categorical_entropy(g: &mut Graph<'_>, logits: NodeId, log_probs: NodeId) -> NodeId {
+    let p = g.softmax_rows(logits);
+    let plp = g.mul_elem(p, log_probs);
+    let cols = g.value(plp).cols();
+    let ones = g.input(Tensor::full(cols, 1, 1.0));
+    let row_sum = g.matmul(plp, ones);
+    g.scale(row_sum, -1.0)
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Samples from a categorical given raw logits; returns `(index, logp)`.
+fn sample_categorical(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let mut u: f32 = rng.gen_range(0.0..1.0);
+    for (i, &e) in exps.iter().enumerate() {
+        let p = e / z;
+        if u < p || i == exps.len() - 1 {
+            return (i, (p.max(1e-12)).ln());
+        }
+        u -= p;
+    }
+    unreachable!("categorical sampling always returns in the loop");
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn gaussian_logp(x: f32, mu: f32, std: f32) -> f32 {
+    let z = (x - mu) / std;
+    -0.5 * z * z - std.ln() - 0.918_938_5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn categorical_sampling_matches_distribution() {
+        let logits = vec![0.0, 1.0, 2.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..6000 {
+            let (i, lp) = sample_categorical(&logits, &mut rng);
+            counts[i] += 1;
+            assert!(lp <= 0.0);
+        }
+        // Softmax of [0,1,2] ≈ [0.09, 0.24, 0.67].
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let p2 = counts[2] as f64 / 6000.0;
+        assert!((p2 - 0.665).abs() < 0.05, "p2={p2}");
+    }
+
+    #[test]
+    fn gaussian_logp_is_maximal_at_mean() {
+        assert!(gaussian_logp(0.0, 0.0, 1.0) > gaussian_logp(1.0, 0.0, 1.0));
+        assert!(gaussian_logp(0.0, 0.0, 1.0) > gaussian_logp(-1.0, 0.0, 1.0));
+        // ln N(0;0,1) = −½ln2π ≈ −0.9189.
+        assert!((gaussian_logp(0.0, 0.0, 1.0) + 0.918_938_5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_sampler_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[-1.0, -2.0]), 0);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = PpoConfig::default();
+        assert_eq!(c.lr, 5e-5);
+        assert_eq!(c.train_batch, 4000);
+        assert_eq!(c.hidden, vec![64, 64]);
+        assert_eq!(c.action_space, ActionSpaceKind::Discrete);
+        assert_eq!(c.action_dims.total(), 35);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train a small NeuroVectorizer and use it to inject
+//! vectorization pragmas into new C source.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neurovectorizer::{NeuroVectorizer, NvConfig, VectorizeEnv};
+use nvc_datasets::generator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A training pool of synthetic loops (§3.2 of the paper builds
+    //    >10,000 of these; a quickstart needs far fewer).
+    let cfg = NvConfig::fast().with_seed(42);
+    let kernels = generator::generate(42, 48);
+    println!(
+        "training pool: {} kernels across {} families",
+        kernels.len(),
+        generator::family_names().len()
+    );
+
+    // 2. The contextual-bandit environment: loops are contexts, pragma
+    //    factors are actions, normalized execution-time improvement is the
+    //    reward.
+    let mut env = VectorizeEnv::new(kernels, cfg.target.clone(), &cfg.embed);
+    println!("extracted {} innermost loops", env.contexts().len());
+
+    // 3. Train PPO end to end (embedding + policy).
+    let mut nv = NeuroVectorizer::new(cfg);
+    let stats = nv.train(&mut env, 15);
+    for s in stats.iter().step_by(3) {
+        println!(
+            "  steps {:>6}  reward_mean {:+.3}  loss {:+.3}",
+            s.steps, s.reward_mean, s.loss
+        );
+    }
+
+    // 4. Inference: the trained agent annotates code it has never seen.
+    let source = "float out0[2048]; float in0[2048]; float in1[2048];
+void madd(int n) {
+    for (int i = 0; i < n; i++) {
+        out0[i] = in0[i] * in1[i] + out0[i];
+    }
+}
+
+int reduce(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += in0[i] > 0.0 ? 1 : 0;
+    }
+    return acc;
+}";
+    let annotated = nv.vectorize_source(source)?;
+    println!("\n--- annotated source ---\n{annotated}");
+    Ok(())
+}

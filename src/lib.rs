@@ -1,0 +1,2 @@
+//! Facade crate: re-exports the NeuroVectorizer reproduction stack for examples and integration tests.
+pub use neurovectorizer as nv;

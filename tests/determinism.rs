@@ -1,0 +1,83 @@
+//! Determinism guarantees: every stochastic component is seeded, so the
+//! figures regenerate bit-identically (DESIGN.md's reproducibility
+//! contract).
+
+use neurovectorizer::experiments::{fig1_dot_product_grid, fig2_bruteforce_suite};
+use neurovectorizer::{NeuroVectorizer, NvConfig, VectorizeEnv};
+use nvc_datasets::{generator, suite};
+use nvc_machine::TargetConfig;
+
+#[test]
+fn generator_streams_are_reproducible() {
+    assert_eq!(generator::generate(0, 64), generator::generate(0, 64));
+    assert_ne!(generator::generate(0, 64), generator::generate(1, 64));
+    // The fixed suite is pinned forever.
+    assert_eq!(suite::llvm_suite(), suite::llvm_suite());
+}
+
+#[test]
+fn environment_rewards_are_reproducible() {
+    let cfg = NvConfig::fast();
+    let build = || {
+        VectorizeEnv::new(
+            generator::generate(9, 12),
+            cfg.target.clone(),
+            &cfg.embed,
+        )
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.contexts().len(), b.contexts().len());
+    for i in 0..a.contexts().len() {
+        for d in a.space().iter() {
+            assert_eq!(a.reward_of_decision(i, d), b.reward_of_decision(i, d));
+        }
+    }
+}
+
+#[test]
+fn training_is_reproducible_per_seed() {
+    let run = |seed: u64| {
+        let cfg = NvConfig::fast().with_seed(seed);
+        let mut env = VectorizeEnv::new(
+            generator::generate(3, 12),
+            cfg.target.clone(),
+            &cfg.embed,
+        );
+        let mut nv = NeuroVectorizer::new(cfg);
+        let stats = nv.train(&mut env, 3);
+        stats
+            .iter()
+            .map(|s| (s.reward_mean, s.loss))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(21), run(21));
+    assert_ne!(run(21), run(22));
+}
+
+#[test]
+fn figure_data_is_reproducible() {
+    let t = TargetConfig::i7_8559u();
+    assert_eq!(fig1_dot_product_grid(&t), fig1_dot_product_grid(&t));
+    assert_eq!(fig2_bruteforce_suite(&t), fig2_bruteforce_suite(&t));
+}
+
+#[test]
+fn inference_is_pure() {
+    let cfg = NvConfig::fast().with_seed(33);
+    let env = VectorizeEnv::new(
+        generator::generate(8, 8),
+        cfg.target.clone(),
+        &cfg.embed,
+    );
+    let nv = NeuroVectorizer::new(cfg);
+    let space = env.space();
+    for ctx in env.contexts() {
+        let d1 = nv.decide(&ctx.sample, space);
+        let d2 = nv.decide(&ctx.sample, space);
+        assert_eq!(d1, d2);
+        let e1 = nv.encode(&ctx.sample);
+        let e2 = nv.encode(&ctx.sample);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's qualitative claims, asserted end to end at smoke scale.
+//!
+//! Quantitative paper-vs-measured numbers live in EXPERIMENTS.md; these
+//! tests pin the *shape* of every result so regressions in any substrate
+//! crate surface as a failed claim.
+
+use neurovectorizer::experiments::{
+    fig1_dot_product_grid, fig2_bruteforce_suite, fig7_comparison, fig8_polybench, fig9_mibench,
+    figure7_benchmarks, train_framework, Scale,
+};
+use nvc_machine::TargetConfig;
+use nvc_vectorizer::VectorDecision;
+
+/// §2.1 + Figure 1: the baseline picks (4,2); most configurations beat
+/// it; the baseline is ~2.6× over scalar; the extreme corner collapses.
+#[test]
+fn claim_figure1_landscape() {
+    let d = fig1_dot_product_grid(&TargetConfig::i7_8559u());
+    assert_eq!(d.baseline, VectorDecision::new(4, 2), "paper: (VF=4, IF=2)");
+    assert!(
+        (2.0..3.2).contains(&d.baseline_over_scalar),
+        "paper: 2.6x, got {:.2}",
+        d.baseline_over_scalar
+    );
+    let total = d.vfs.len() * d.ifs.len();
+    assert!(
+        d.better_than_baseline() * 2 >= total,
+        "paper: 26/35 beat the baseline; got {}/{total}",
+        d.better_than_baseline()
+    );
+    // The best configuration is strongly vectorized and bounded.
+    assert!(d.best.0.elems_per_block() >= 16);
+    assert!(d.best.1 > 1.0 && d.best.1 < 2.0);
+    // VF×IF beyond the trip count collapses.
+    let worst = d
+        .normalized
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert!(worst < 0.6, "no over-vectorization cliff found: {worst}");
+}
+
+/// §2.1 + Figure 2: brute force never loses to the baseline, and finds
+/// real headroom on several tests.
+#[test]
+fn claim_figure2_headroom() {
+    let entries = fig2_bruteforce_suite(&TargetConfig::i7_8559u());
+    assert!(entries.len() >= 14);
+    for e in &entries {
+        assert!(
+            e.best_over_baseline >= 1.0 - 1e-9,
+            "{} lost to baseline",
+            e.name
+        );
+    }
+    let over_1_05 = entries
+        .iter()
+        .filter(|e| e.best_over_baseline > 1.05)
+        .count();
+    assert!(over_1_05 >= 4, "paper shows widespread headroom; got {over_1_05} tests > 1.05x");
+}
+
+/// §4 + Figures 7–9, at smoke training scale: the *ordering* of methods
+/// the paper reports. (Magnitudes are in EXPERIMENTS.md.)
+#[test]
+fn claim_method_ordering() {
+    let (nv, env, stats) = train_framework(Scale::smoke());
+    // Training converges upward (Figure 5's qualitative point).
+    let first = stats.first().unwrap().reward_mean;
+    let last = stats.last().unwrap().reward_mean;
+    assert!(last > first, "no learning: {first:.3} → {last:.3}");
+
+    let f7 = fig7_comparison(&nv, &env, &figure7_benchmarks());
+    let avg = |m: &str| f7.average(m);
+
+    // Brute force is the oracle: it dominates everything.
+    for m in ["baseline", "random", "polly", "decision_tree", "nns", "rl"] {
+        assert!(
+            avg("brute_force") >= avg(m) - 1e-9,
+            "brute force must dominate {m}"
+        );
+    }
+    // RL beats the baseline and random search (paper: 2.67x vs <1x).
+    assert!(avg("rl") > 1.0, "rl = {:.3}", avg("rl"));
+    assert!(avg("rl") > avg("random") - 0.15, "rl should not lose to random");
+    // RL is within a modest gap of brute force (paper: 3%; smoke-scale
+    // training gets within 15%).
+    assert!(
+        avg("rl") / avg("brute_force") > 0.85,
+        "rl {:.3} too far from brute force {:.3}",
+        avg("rl"),
+        avg("brute_force")
+    );
+
+    // Figure 8: Polly dominates on PolyBench overall; the combination is
+    // at least as good as Polly alone (paper: 2.92x > 2.08x baselines).
+    let f8 = fig8_polybench(&nv);
+    assert!(f8.average("polly") > 1.3, "polly = {:.3}", f8.average("polly"));
+    // At smoke training scale the policy is noisy on out-of-distribution
+    // tiled loops, so allow modest slack; the bench-scale harness shows
+    // the combination matching or beating Polly (EXPERIMENTS.md).
+    assert!(
+        f8.average("rl+polly") >= f8.average("polly") * 0.8,
+        "combination regressed Polly too much: {:.3} vs {:.3}",
+        f8.average("rl+polly"),
+        f8.average("polly")
+    );
+    // Polly wins at least two kernels outright; it does not win all six
+    // (the paper's RL wins three of six).
+    let polly_idx = f8.methods.iter().position(|m| m == "polly").unwrap();
+    let wins = f8.speedups[polly_idx].iter().filter(|&&s| s > 1.2).count();
+    let non_wins = f8.speedups[polly_idx].iter().filter(|&&s| s <= 1.05).count();
+    assert!(wins >= 2, "polly should win big matrix kernels");
+    assert!(non_wins >= 2, "polly should not win everywhere");
+
+    // Figure 9: loop-minor programs cap the achievable speedup near the
+    // paper's 1.1x; nothing regresses below baseline meaningfully.
+    let f9 = fig9_mibench(&nv);
+    let rl9 = f9.average("rl");
+    assert!(
+        (0.95..1.6).contains(&rl9),
+        "MiBench average out of the loop-minor regime: {rl9:.3}"
+    );
+    let rl_idx = f9.methods.iter().position(|m| m == "rl").unwrap();
+    for (b, s) in f9.benchmarks.iter().zip(f9.speedups[rl_idx].iter()) {
+        assert!(*s > 0.9, "{b} regressed under RL: {s:.3}");
+    }
+}
+
+/// §3.4: the compile-time timeout penalty is reachable and bounded.
+#[test]
+fn claim_timeout_penalty() {
+    use neurovectorizer::VectorizeEnv;
+    use neurovectorizer::NvConfig;
+
+    // A deliberately fat loop body at an extreme factor must trip the 10×
+    // compile budget and earn exactly −9.
+    let mut body = String::new();
+    let mut decls = String::new();
+    for k in 0..24 {
+        decls.push_str(&format!(
+            "float fa{k}[4096]; float fb{k}[4096]; float fc{k}[4096];\n"
+        ));
+        body.push_str(&format!("        fa{k}[i] = fb{k}[i] * fc{k}[i] + fa{k}[i];\n"));
+    }
+    let src = format!("{decls}void fat(int n) {{\n    for (int i = 0; i < n; i++) {{\n{body}    }}\n}}");
+    let k = nvc_datasets::Kernel::new("fat", "t", src, nvc_ir::ParamEnv::new().with("n", 4096));
+    let cfg = NvConfig::fast();
+    let env = VectorizeEnv::new(vec![k], cfg.target.clone(), &cfg.embed);
+    assert_eq!(env.contexts().len(), 1);
+    let r = env.reward_of_decision(0, VectorDecision::new(64, 16));
+    assert_eq!(r, neurovectorizer::TIMEOUT_PENALTY, "paper: reward −9");
+    // Sane factors do not time out.
+    let ok = env.reward_of_decision(0, VectorDecision::new(8, 2));
+    assert!(ok > -1.0);
+}
