@@ -44,7 +44,11 @@ fn bench_fig789(c: &mut Criterion) {
     let (nv, env, _) = train_framework(Scale::smoke());
     let benches = figure7_benchmarks();
     c.bench_function("fig7/eval_12_benchmarks_7_methods", |b| {
-        b.iter(|| fig7_comparison(black_box(&nv), &env, &benches).speedups.len())
+        b.iter(|| {
+            fig7_comparison(black_box(&nv), &env, &benches)
+                .speedups
+                .len()
+        })
     });
     c.bench_function("fig8/polybench_4_methods", |b| {
         b.iter(|| fig8_polybench(black_box(&nv)).speedups.len())

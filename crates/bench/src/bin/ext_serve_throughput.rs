@@ -1,0 +1,153 @@
+//! Extension experiment: serving throughput vs. cache hit rate vs. batch
+//! size.
+//!
+//! Drives `nvc-serve` with the paper-sized model (340-dim code vectors,
+//! 64×64 policy — the configuration a deployment would actually ship) over
+//! a synthetic kernel pool and measures requests/sec in three regimes:
+//!
+//! 1. **cold** — cache disabled, batch size 1, one worker: every request
+//!    pays the full embedding + policy forward pass (the one-shot CLI
+//!    cost);
+//! 2. **batched** — cache still disabled, concurrent clients, sweeping
+//!    batch size: what coalescing forward passes alone buys;
+//! 3. **warm** — cache enabled after a priming pass: repeated loop shapes
+//!    skip the model entirely.
+//!
+//! The headline acceptance number: warm req/s must be ≥ 5× cold req/s.
+//!
+//! ```text
+//! cargo run --release -p nv-bench --bin ext_serve_throughput
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use neurovectorizer::{NeuroVectorizer, NvConfig, ServeConfig, ServeHandle};
+use nvc_datasets::generator;
+
+const ACCEPTANCE_RATIO: f64 = 5.0;
+
+fn start(nv_seed: u64, serve: ServeConfig) -> ServeHandle {
+    let mut cfg = NvConfig::paper().with_seed(nv_seed);
+    cfg.serve = serve;
+    NeuroVectorizer::new(cfg).serve()
+}
+
+/// Sends every source once from `clients` threads; returns req/s.
+fn drive(handle: &ServeHandle, sources: &[String], clients: usize, passes: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                for _ in 0..passes {
+                    for src in sources {
+                        handle.vectorize(src).expect("vectorize");
+                    }
+                }
+            });
+        }
+    });
+    let requests = (clients * passes * sources.len()) as f64;
+    requests / t0.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    let pool = generator::generate(7, 24);
+    let sources: Vec<String> = pool.iter().map(|k| k.source.clone()).collect();
+    println!(
+        "== ext: serve throughput ({} kernels, paper-size model) ==\n",
+        sources.len()
+    );
+    println!(
+        "{:<34} {:>8} {:>8} {:>12} {:>10}",
+        "configuration", "clients", "batch", "req/s", "hit rate"
+    );
+
+    // 1. Cold: the per-request cost of the unamortized path.
+    let cold = {
+        let handle = start(
+            3,
+            ServeConfig::default()
+                .with_cache_capacity(0)
+                .with_batch_size(1)
+                .with_workers(1),
+        );
+        let rps = drive(&handle, &sources, 1, 2);
+        let stats = handle.cache_stats();
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>9.0}%",
+            "cold (no cache)",
+            1,
+            1,
+            rps,
+            stats.hit_rate() * 100.0
+        );
+        rps
+    };
+
+    // 2. Batching sweep: concurrent misses coalesce into shared forwards.
+    for batch in [1usize, 8, 32] {
+        let handle = start(
+            3,
+            ServeConfig::default()
+                .with_cache_capacity(0)
+                .with_batch_size(batch)
+                .with_workers(2),
+        );
+        let rps = drive(&handle, &sources, 8, 1);
+        let m = handle.metrics();
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>10}",
+            format!("batched (no cache, mean={:.1})", m.mean_batch),
+            8,
+            batch,
+            rps,
+            "-"
+        );
+    }
+
+    // 3. Warm: prime once, then every loop shape hits the cache. The
+    // acceptance comparison uses the *same* client/worker/batch counts as
+    // the cold run, so the ratio isolates the cache (not parallelism).
+    let warm = {
+        let handle = start(3, ServeConfig::default().with_batch_size(1).with_workers(1));
+        drive(&handle, &sources, 1, 1); // priming pass
+        let rps = drive(&handle, &sources, 1, 3);
+        let stats = handle.cache_stats();
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>9.0}%",
+            "warm (primed cache)",
+            1,
+            1,
+            rps,
+            stats.hit_rate() * 100.0
+        );
+        rps
+    };
+
+    // Informational: warm + concurrency, the full production configuration.
+    {
+        let handle = start(3, ServeConfig::default());
+        drive(&handle, &sources, 1, 1); // priming pass
+        let rps = drive(&handle, &sources, 4, 3);
+        let stats = handle.cache_stats();
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>9.0}%",
+            "warm + concurrent clients",
+            4,
+            32,
+            rps,
+            stats.hit_rate() * 100.0
+        );
+    }
+
+    let ratio = warm / cold;
+    println!("\nwarm/cold speedup: {ratio:.1}x (acceptance: >= {ACCEPTANCE_RATIO:.0}x)");
+    if ratio >= ACCEPTANCE_RATIO {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}

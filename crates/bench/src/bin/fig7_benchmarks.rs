@@ -1,20 +1,27 @@
 //! Figure 7: the 12 held-out benchmarks under baseline, random search,
 //! Polly, decision tree, NNS, RL and brute force (§4).
 
-use neurovectorizer::experiments::{
-    fig7_comparison, figure7_benchmarks, train_framework, Scale,
-};
+use neurovectorizer::experiments::{fig7_comparison, figure7_benchmarks, train_framework, Scale};
 use nv_bench::print_comparison;
 
 fn main() {
     let scale = Scale::bench();
-    eprintln!("training PPO ({} kernels, {} iterations)…", scale.train_kernels, scale.iterations);
+    eprintln!(
+        "training PPO ({} kernels, {} iterations)…",
+        scale.train_kernels, scale.iterations
+    );
     let (nv, env, stats) = train_framework(scale);
     if let Some(last) = stats.last() {
-        eprintln!("final reward mean on the training pool: {:.3}", last.reward_mean);
+        eprintln!(
+            "final reward mean on the training pool: {:.3}",
+            last.reward_mean
+        );
     }
     let data = fig7_comparison(&nv, &env, &figure7_benchmarks());
-    print_comparison("Figure 7: 12 benchmarks x 7 methods (speedup over baseline)", &data);
+    print_comparison(
+        "Figure 7: 12 benchmarks x 7 methods (speedup over baseline)",
+        &data,
+    );
     println!("\npaper: RL 2.67x, NNS 2.65x, DT 2.47x, Polly 1.17x, random < 1x,");
     println!("RL within 3% of brute force.");
 }

@@ -13,8 +13,14 @@ fn main() {
     let f9 = fig9_mibench(&nv);
     let h = headline_summary(&f7, &f8, &f9);
     println!("== Headline numbers ==");
-    println!("RL average speedup (Figure 7 set): {:.2}x   (paper: 2.67x)", h.rl_average);
-    println!("brute-force average:               {:.2}x", h.brute_force_average);
+    println!(
+        "RL average speedup (Figure 7 set): {:.2}x   (paper: 2.67x)",
+        h.rl_average
+    );
+    println!(
+        "brute-force average:               {:.2}x",
+        h.brute_force_average
+    );
     println!(
         "RL / brute force:                  {:.1}%   (paper: 97%)",
         h.rl_vs_brute_force * 100.0

@@ -7,7 +7,13 @@
 //! nvc train --kernels 160 --iterations 30 --seed 17 --out model.ckpt
 //! nvc vectorize file.c --model model.ckpt        # annotated source on stdout
 //! nvc inspect file.c [--n 1024]                  # per-loop analysis report
+//! nvc serve --model model.ckpt                   # JSON-lines daemon on stdin/stdout
 //! ```
+//!
+//! `serve` keeps the model warm and answers one JSON request per line
+//! (see `nvc-serve` for the protocol): repeated loop shapes hit a sharded
+//! LRU decision cache, cache misses coalesce into batched policy forward
+//! passes.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -23,9 +29,10 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("vectorize") => cmd_vectorize(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE\n  nvc vectorize FILE.c [--model FILE]\n  nvc inspect FILE.c [--n VALUE]"
+                "usage:\n  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE\n  nvc vectorize FILE.c [--model FILE]\n  nvc inspect FILE.c [--n VALUE]\n  nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]"
             );
             return ExitCode::from(2);
         }
@@ -54,7 +61,10 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = NvConfig::fast().with_seed(seed);
     let pool = generator::generate(seed, kernels);
-    eprintln!("training on {} kernels, {iterations} iterations…", pool.len());
+    eprintln!(
+        "training on {} kernels, {iterations} iterations…",
+        pool.len()
+    );
     let mut env = VectorizeEnv::new(pool, cfg.target.clone(), &cfg.embed);
     let mut nv = NeuroVectorizer::new(cfg);
     let stats = nv.train(&mut env, iterations);
@@ -104,6 +114,48 @@ fn flag_value_position(args: &[String], a: &String) -> bool {
     }
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = NvConfig::fast();
+    if let Some(n) = flag(args, "--workers") {
+        cfg.serve.workers = n.parse::<usize>()?.max(1);
+    }
+    if let Some(n) = flag(args, "--batch") {
+        cfg.serve.batch_size = n.parse::<usize>()?.max(1);
+    }
+    if let Some(n) = flag(args, "--flush-us") {
+        cfg.serve.flush_deadline_us = n.parse()?;
+    }
+    if let Some(n) = flag(args, "--cache") {
+        cfg.serve.cache_capacity = n.parse()?;
+    }
+    if let Some(n) = flag(args, "--shards") {
+        cfg.serve.cache_shards = n.parse::<usize>()?.max(1);
+    }
+    let mut nv = NeuroVectorizer::new(cfg);
+    if let Some(model) = flag(args, "--model") {
+        let ckpt = std::fs::read_to_string(&model)?;
+        nv.restore(&ckpt)?;
+        eprintln!("nvc serve: restored weights from {model}");
+    } else {
+        eprintln!("nvc serve: WARNING — serving an untrained model (pass --model FILE)");
+    }
+    let serve_cfg = nv.config().serve.clone();
+    eprintln!(
+        "nvc serve: ready ({} workers, batch {}, flush {}µs, cache {} entries / {} shards); one JSON request per line",
+        serve_cfg.workers,
+        serve_cfg.batch_size,
+        serve_cfg.flush_deadline_us,
+        serve_cfg.cache_capacity,
+        serve_cfg.cache_shards
+    );
+    let handle = nv.serve();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    neurovectorizer::run_daemon(&handle, stdin.lock(), &mut stdout)?;
+    eprintln!("nvc serve: shutting down");
+    Ok(())
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let file = args
         .iter()
@@ -120,7 +172,10 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let space = ActionSpace::for_target(compiler.target());
     println!("{} innermost loop(s)\n", loops.len());
     for l in &loops {
-        println!("loop #{} in `{}` (line {}):", l.loop_index, l.function, l.header_line);
+        println!(
+            "loop #{} in `{}` (line {}):",
+            l.loop_index, l.function, l.header_line
+        );
         println!("  trip: {:?}, step {}", l.ir.trip, l.ir.step);
         println!(
             "  accesses: {} ({} loads, {} stores), reductions: {}",

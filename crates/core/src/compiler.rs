@@ -267,9 +267,7 @@ int kernel() {
         let c = Compiler::default();
         let k = dot_product_kernel();
         let t = c
-            .run_with(&k, |_| {
-                LoopDecision::Pragma(VectorDecision::new(16, 4))
-            })
+            .run_with(&k, |_| LoopDecision::Pragma(VectorDecision::new(16, 4)))
             .unwrap();
         assert_eq!(t.loops.len(), 1);
         assert_eq!(t.loops[0].decision, VectorDecision::new(16, 4));

@@ -130,11 +130,7 @@ impl VectorizeEnv {
 
     /// The reward of `decision` on context `idx` (memoized).
     pub fn reward_of_decision(&self, idx: usize, decision: VectorDecision) -> f64 {
-        let key = (
-            idx,
-            decision.vf as usize,
-            decision.if_ as usize,
-        );
+        let key = (idx, decision.vf as usize, decision.if_ as usize);
         if let Some(r) = self.reward_cache.lock().get(&key) {
             return *r;
         }
@@ -223,11 +219,7 @@ mod tests {
         // Choosing exactly what the baseline chooses must give reward ≈ 0.
         let env = small_env();
         for i in 0..env.num_contexts() {
-            let d = env
-                .contexts()[i]
-                .lowered
-                .ir
-                .clone();
+            let d = env.contexts()[i].lowered.ir.clone();
             let baseline = Vectorizer::new(TargetConfig::i7_8559u()).baseline_decision(&d);
             let r = env.reward_of_decision(i, baseline);
             assert!(
@@ -295,10 +287,7 @@ mod tests {
         // Baseline-equal decisions are unaffected (no extra compile time).
         let d = Vectorizer::new(TargetConfig::i7_8559u())
             .baseline_decision(&plain.contexts()[0].lowered.ir);
-        assert_eq!(
-            env.reward_of_decision(0, d),
-            plain.reward_of_decision(0, d)
-        );
+        assert_eq!(env.reward_of_decision(0, d), plain.reward_of_decision(0, d));
     }
 
     #[test]

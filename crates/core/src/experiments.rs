@@ -86,7 +86,10 @@ pub fn train_framework(scale: Scale) -> (NeuroVectorizer, VectorizeEnv, Vec<Iter
     // append Polly-lite transforms of the nest-heavy kernels.
     let polly_cfg = PollyConfig::default();
     let mut extra = Vec::new();
-    for k in kernels.iter().filter(|k| k.family == "matmul" || k.family == "memset2d") {
+    for k in kernels
+        .iter()
+        .filter(|k| k.family == "matmul" || k.family == "memset2d")
+    {
         if let Ok((src, report)) = nvc_polly::optimize_source(&k.source, &polly_cfg) {
             if !report.is_noop() {
                 let mut t = k.clone();
@@ -140,7 +143,9 @@ impl GridData {
 pub fn fig1_dot_product_grid(target: &TargetConfig) -> GridData {
     let kernel = dot_product_kernel();
     let compiler = Compiler::new(target.clone());
-    let baseline_t = compiler.run_baseline(&kernel).expect("dot product compiles");
+    let baseline_t = compiler
+        .run_baseline(&kernel)
+        .expect("dot product compiles");
     let scalar_t = compiler.run_scalar(&kernel).expect("dot product compiles");
     let baseline_decision = baseline_decision_of(&compiler, &kernel);
 
@@ -436,7 +441,9 @@ pub fn fig7_comparison(
             .run_with(k, |l| match embed_loop(nv, l) {
                 Some(e) => {
                     let flat = tree.predict(&e);
-                    LoopDecision::Pragma(space.decision_from_pair(flat / dims.n_if, flat % dims.n_if))
+                    LoopDecision::Pragma(
+                        space.decision_from_pair(flat / dims.n_if, flat % dims.n_if),
+                    )
                 }
                 None => LoopDecision::Baseline,
             })
@@ -505,7 +512,11 @@ fn transfer_comparison(
     let polly_compiler = Compiler::new(target.clone()).with_polly(PollyConfig::default());
     let space = ActionSpace::for_target(&target);
 
-    let mut methods = vec!["baseline".to_string(), "polly".to_string(), "rl".to_string()];
+    let mut methods = vec![
+        "baseline".to_string(),
+        "polly".to_string(),
+        "rl".to_string(),
+    ];
     if include_combined {
         methods.push("rl+polly".to_string());
     }
@@ -636,7 +647,11 @@ pub fn ext_ranker_comparison(
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     ranker.fit(&data, &mut rng);
 
-    let methods = vec!["baseline".to_string(), "ranker".to_string(), "rl".to_string()];
+    let methods = vec![
+        "baseline".to_string(),
+        "ranker".to_string(),
+        "rl".to_string(),
+    ];
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
     let mut names = Vec::new();
     for k in benchmarks {
@@ -686,8 +701,8 @@ pub fn ext_reward_shaping(scale: Scale, weights: &[f64]) -> Vec<ShapingRow> {
         let mut cfg = NvConfig::fast().with_seed(scale.seed);
         cfg.ppo.train_batch = scale.train_batch;
         let kernels = generator::generate(scale.seed, scale.train_kernels);
-        let mut env = VectorizeEnv::new(kernels, cfg.target.clone(), &cfg.embed)
-            .with_compile_weight(w);
+        let mut env =
+            VectorizeEnv::new(kernels, cfg.target.clone(), &cfg.embed).with_compile_weight(w);
         let mut nv = NeuroVectorizer::new(cfg);
         nv.train(&mut env, scale.iterations);
 
@@ -725,8 +740,8 @@ mod tests {
         let data = fig1_dot_product_grid(&TargetConfig::i7_8559u());
         assert_eq!(data.vfs.len(), 7);
         assert_eq!(data.ifs.len(), 4); // IF ∈ {1,2,4,8}
-        // Paper: baseline picks (4,2); most configurations beat it; best
-        // uses wide factors; baseline is ~2.6× over scalar.
+                                       // Paper: baseline picks (4,2); most configurations beat it; best
+                                       // uses wide factors; baseline is ~2.6× over scalar.
         assert_eq!(data.baseline, VectorDecision::new(4, 2));
         assert!(
             data.better_than_baseline() >= 14,

@@ -10,11 +10,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use nvc_embed::{extract_path_contexts, EmbedConfig, PathSample};
-use nvc_frontend::{extract_loops, inject_pragma, parse_statement, parse_translation_unit};
-use nvc_frontend::{FrontendError, LoopPragma};
+use nvc_embed::{extract_loop_samples, EmbedConfig, PathSample};
+use nvc_frontend::{inject_pragmas, FrontendError, LoopPragma};
 use nvc_machine::TargetConfig;
 use nvc_rl::{ActionDims, IterStats, PpoConfig, PpoTrainer};
+use nvc_serve::{DecisionModel, ServeConfig, ServeHandle};
 use nvc_vectorizer::{ActionSpace, VectorDecision};
 
 use crate::env::VectorizeEnv;
@@ -28,6 +28,8 @@ pub struct NvConfig {
     pub embed: EmbedConfig,
     /// PPO configuration.
     pub ppo: PpoConfig,
+    /// Serving-layer configuration (`nvc serve`, [`NeuroVectorizer::serve`]).
+    pub serve: ServeConfig,
     /// Seed for parameter init and exploration.
     pub seed: u64,
 }
@@ -48,6 +50,7 @@ impl NvConfig {
                 action_dims: dims,
                 ..PpoConfig::default()
             },
+            serve: ServeConfig::default(),
             seed: 0,
         }
     }
@@ -72,6 +75,7 @@ impl NvConfig {
                 action_dims: dims,
                 ..PpoConfig::default()
             },
+            serve: ServeConfig::default(),
             seed: 0,
         }
     }
@@ -123,9 +127,7 @@ impl NeuroVectorizer {
     /// Embeds a loop sample with the trained encoder (for NNS/decision
     /// trees, §3.5).
     pub fn encode(&self, sample: &PathSample) -> Vec<f32> {
-        self.trainer
-            .embedder()
-            .encode(self.trainer.store(), sample)
+        self.trainer.embedder().encode(self.trainer.store(), sample)
     }
 
     /// Serializes all trained weights (embedding + policy) to the
@@ -158,33 +160,47 @@ impl NeuroVectorizer {
     /// Returns a [`FrontendError`] if `source` does not parse.
     pub fn vectorize_source(&self, source: &str) -> Result<String, FrontendError> {
         let space = ActionSpace::for_target(&self.cfg.target);
-        let tu = parse_translation_unit(source)?;
-        let mut loops: Vec<_> = extract_loops(&tu, source)
-            .into_iter()
-            .filter(|l| l.is_innermost)
+        let sites = extract_loop_samples(source, &self.cfg.embed)?;
+        let pragmas: Vec<(u32, LoopPragma)> = sites
+            .iter()
+            .map(|site| {
+                let d = self.decide(&site.sample, &space);
+                (
+                    site.header_line,
+                    LoopPragma {
+                        vectorize_width: d.vf,
+                        interleave_count: d.if_,
+                    },
+                )
+            })
             .collect();
-        // Inject bottom-up so earlier header lines stay valid.
-        loops.sort_by(|a, b| b.header_line.cmp(&a.header_line));
-        let mut out = source.to_string();
-        for l in &loops {
-            let sample = match parse_statement(&l.nest_text) {
-                Ok(stmt) => PathSample::from_contexts(
-                    &extract_path_contexts(&stmt, self.cfg.embed.max_paths),
-                    &self.cfg.embed,
-                ),
-                Err(_) => continue,
-            };
-            let d = self.decide(&sample, &space);
-            out = inject_pragma(
-                &out,
-                l.header_line,
-                LoopPragma {
-                    vectorize_width: d.vf,
-                    interleave_count: d.if_,
-                },
-            );
-        }
-        Ok(out)
+        Ok(inject_pragmas(source, &pragmas))
+    }
+
+    /// Moves this (typically trained) model into a running
+    /// [`ServeHandle`] configured by `cfg.serve`: the long-lived serving
+    /// product with decision caching and batched inference. See
+    /// `nvc-serve` for the protocol.
+    pub fn serve(self) -> ServeHandle {
+        let cfg = self.cfg.serve.clone();
+        ServeHandle::start(std::sync::Arc::new(self), cfg)
+    }
+}
+
+/// The serving layer drives the trained model through this interface:
+/// batched greedy decisions, one graph per batch
+/// ([`PpoTrainer::predict_batch`]).
+impl DecisionModel for NeuroVectorizer {
+    fn embed_config(&self) -> &EmbedConfig {
+        &self.cfg.embed
+    }
+
+    fn target(&self) -> &TargetConfig {
+        &self.cfg.target
+    }
+
+    fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+        self.trainer.predict_batch(samples)
     }
 }
 
@@ -192,6 +208,7 @@ impl NeuroVectorizer {
 mod tests {
     use super::*;
     use nvc_datasets::generator;
+    use nvc_frontend::{extract_loops, parse_translation_unit};
 
     #[test]
     fn vectorize_source_injects_pragmas_on_all_innermost_loops() {
@@ -225,11 +242,7 @@ void f(int n) {
     #[test]
     fn training_improves_reward_on_small_pool() {
         let cfg = NvConfig::fast();
-        let mut env = VectorizeEnv::new(
-            generator::generate(1, 24),
-            cfg.target.clone(),
-            &cfg.embed,
-        );
+        let mut env = VectorizeEnv::new(generator::generate(1, 24), cfg.target.clone(), &cfg.embed);
         let mut nv = NeuroVectorizer::new(cfg);
         let stats = nv.train(&mut env, 12);
         let first = stats.first().unwrap().reward_mean;
@@ -246,11 +259,7 @@ void f(int n) {
     #[test]
     fn checkpoint_roundtrip_preserves_decisions() {
         let cfg = NvConfig::fast().with_seed(5);
-        let mut env = VectorizeEnv::new(
-            generator::generate(5, 16),
-            cfg.target.clone(),
-            &cfg.embed,
-        );
+        let mut env = VectorizeEnv::new(generator::generate(5, 16), cfg.target.clone(), &cfg.embed);
         let mut nv = NeuroVectorizer::new(cfg.clone());
         nv.train(&mut env, 4);
         let ckpt = nv.checkpoint();

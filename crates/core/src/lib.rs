@@ -21,7 +21,11 @@
 //!   compile-time penalty);
 //! * [`framework`] — training and the pragma-injecting inference product;
 //! * [`experiments`] — drivers that regenerate every figure of the paper
-//!   (used by the `nv-bench` harness binaries).
+//!   (used by the `nv-bench` harness binaries);
+//! * serving — [`NeuroVectorizer::serve`] moves a trained model into the
+//!   long-lived `nvc-serve` daemon (`nvc serve` on the CLI): a sharded
+//!   LRU decision cache plus batched policy inference behind a JSON-lines
+//!   protocol. [`ServeConfig`] (a field of [`NvConfig`]) holds the knobs.
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@ pub mod env;
 pub mod experiments;
 pub mod framework;
 
-pub use compiler::{Compiler, CompileError, LoopDecision, ProgramTiming, CALL_OVERHEAD_CYCLES};
+pub use compiler::{CompileError, Compiler, LoopDecision, ProgramTiming, CALL_OVERHEAD_CYCLES};
 pub use env::{LoopContext, VectorizeEnv, TIMEOUT_PENALTY};
 pub use framework::{NeuroVectorizer, NvConfig};
+pub use nvc_serve::{run_daemon, ServeConfig, ServeHandle};

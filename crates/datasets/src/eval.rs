@@ -191,7 +191,11 @@ mod tests {
     fn names_are_unique_and_ordered() {
         let b = eval_benchmarks();
         for (i, k) in b.iter().enumerate() {
-            assert!(k.name.starts_with(&format!("bench{:02}", i + 1)), "{}", k.name);
+            assert!(
+                k.name.starts_with(&format!("bench{:02}", i + 1)),
+                "{}",
+                k.name
+            );
         }
     }
 

@@ -233,8 +233,7 @@ fn gen_sum_reduce(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let rt = g.runtime_bound();
     let b = bound_str(rt, n);
     let globals = format!("{ty} {x}[4096]{};\n{ty} {s};", g.maybe_align());
-    let body =
-        format!("    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}]; }}");
+    let body = format!("    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}]; }}");
     let (src, env) = kernel(globals, "", body, rt, n);
     ("sum_reduce", src, env)
 }
@@ -250,9 +249,8 @@ fn gen_dot(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
         g.maybe_align(),
         g.maybe_align()
     );
-    let body = format!(
-        "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}] * {y}[{iv}]; }}"
-    );
+    let body =
+        format!("    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {s} += {x}[{iv}] * {y}[{iv}]; }}");
     let (src, env) = kernel(globals, "", body, rt, n);
     ("dot", src, env)
 }
@@ -292,10 +290,13 @@ fn gen_strided_complex(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let iv = g.iv();
     let n = g.trip().min(2000);
     let rt = g.runtime_bound();
-    let b = if rt { "n/2-1".to_string() } else { format!("{}", n / 2 - 1) };
-    let globals = format!(
-        "float {re}[4096];\nfloat {bb}[8192];\nfloat {cc}[8192];\nfloat {im}[4096];"
-    );
+    let b = if rt {
+        "n/2-1".to_string()
+    } else {
+        format!("{}", n / 2 - 1)
+    };
+    let globals =
+        format!("float {re}[4096];\nfloat {bb}[8192];\nfloat {cc}[8192];\nfloat {im}[4096];");
     let body = format!(
         "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{\n        {re}[{iv}] = {bb}[2*{iv}+1] * {cc}[2*{iv}+1] - {bb}[2*{iv}] * {cc}[2*{iv}];\n        {im}[{iv}] = {bb}[2*{iv}] * {cc}[2*{iv}+1] + {bb}[2*{iv}+1] * {cc}[2*{iv}];\n    }}"
     );
@@ -307,10 +308,16 @@ fn gen_conv_types(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     // Example #1 of the paper: narrow→wide conversion, manually unrolled by 2.
     let (dst, s1) = (g.array(), g.array());
     let iv = g.iv();
-    let (from_ty, _) = *[("short", 2u32), ("char", 1)].choose(g.rng).expect("non-empty");
+    let (from_ty, _) = *[("short", 2u32), ("char", 1)]
+        .choose(g.rng)
+        .expect("non-empty");
     let n = g.trip();
     let rt = g.runtime_bound();
-    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let b = if rt {
+        "n-1".to_string()
+    } else {
+        format!("{}", n - 1)
+    };
     let globals = format!("int {dst}[4096];\n{from_ty} {s1}[4096];");
     let body = format!(
         "    for (int {iv} = 0; {iv} < {b}; {iv} += 2) {{\n        {dst}[{iv}] = (int) {s1}[{iv}];\n        {dst}[{iv}+1] = (int) {s1}[{iv}+1];\n    }}"
@@ -321,12 +328,18 @@ fn gen_conv_types(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
 
 fn gen_bitwise(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let (x, y, z, iv) = (g.array(), g.array(), g.array(), g.iv());
-    let ity = ["int", "unsigned int", "long"].choose(g.rng).copied().expect("non-empty");
+    let ity = ["int", "unsigned int", "long"]
+        .choose(g.rng)
+        .copied()
+        .expect("non-empty");
     let n = g.trip();
     let rt = g.runtime_bound();
     let b = bound_str(rt, n);
     let sh = g.rng.gen_range(1..8);
-    let mask = [0xff, 0x7f, 0xfff].choose(g.rng).copied().expect("non-empty");
+    let mask = [0xff, 0x7f, 0xfff]
+        .choose(g.rng)
+        .copied()
+        .expect("non-empty");
     let globals = format!("{ity} {x}[4096];\n{ity} {y}[4096];\n{ity} {z}[4096];");
     let body = format!(
         "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {z}[{iv}] = (({x}[{iv}] >> {sh}) & {mask}) ^ {y}[{iv}]; }}"
@@ -348,9 +361,7 @@ fn gen_minmax(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
         )
     } else {
         let f = if ty == "float" { "fminf" } else { "fmin" };
-        format!(
-            "    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {m} = {f}({m}, {x}[{iv}]); }}"
-        )
+        format!("    for (int {iv} = 0; {iv} < {b}; {iv}++) {{ {m} = {f}({m}, {x}[{iv}]); }}")
     };
     let (src, env) = kernel(globals, "", body, rt, n);
     ("minmax", src, env)
@@ -361,7 +372,11 @@ fn gen_stencil3(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let (ty, _) = g.float_ty();
     let n = g.trip();
     let rt = g.runtime_bound();
-    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let b = if rt {
+        "n-1".to_string()
+    } else {
+        format!("{}", n - 1)
+    };
     let globals = format!("{ty} {x}[4100];\n{ty} {y}[4100];");
     let body = format!(
         "    for (int {iv} = 1; {iv} < {b}; {iv}++) {{ {y}[{iv}] = ({x}[{iv}-1] + {x}[{iv}] + {x}[{iv}+1]) * 0.3333; }}"
@@ -390,9 +405,8 @@ fn gen_matmul(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let (ma, mb, mc) = (g.array(), g.array(), g.array());
     let (i, j, k) = (g.iv(), g.iv(), g.iv());
     let dim = *[32i64, 64, 128, 256].choose(g.rng).expect("non-empty");
-    let globals = format!(
-        "float {ma}[{dim}][{dim}];\nfloat {mb}[{dim}][{dim}];\nfloat {mc}[{dim}][{dim}];"
-    );
+    let globals =
+        format!("float {ma}[{dim}][{dim}];\nfloat {mb}[{dim}][{dim}];\nfloat {mc}[{dim}][{dim}];");
     let body = format!(
         "    for (int {i} = 0; {i} < {dim}; {i}++) {{\n        for (int {j} = 0; {j} < {dim}; {j}++) {{\n            float inner = 0.0;\n            for (int {k} = 0; {k} < {dim}; {k}++) {{ inner += alpha * {ma}[{i}][{k}] * {mb}[{k}][{j}]; }}\n            {mc}[{i}][{j}] = inner;\n        }}\n    }}"
     );
@@ -431,7 +445,11 @@ fn gen_unroll2(g: &mut Gen<'_>) -> (&'static str, String, ParamEnv) {
     let (ty, _) = g.float_ty();
     let n = g.trip();
     let rt = g.runtime_bound();
-    let b = if rt { "n-1".to_string() } else { format!("{}", n - 1) };
+    let b = if rt {
+        "n-1".to_string()
+    } else {
+        format!("{}", n - 1)
+    };
     let globals = format!("{ty} {x}[4096];\n{ty} {y}[4096];");
     let body = format!(
         "    for (int {iv} = 0; {iv} < {b}; {iv} += 2) {{\n        {y}[{iv}] = {x}[{iv}] * 0.5;\n        {y}[{iv}+1] = {x}[{iv}+1] * 0.5;\n    }}"

@@ -147,7 +147,10 @@ mod tests {
                 vectorizable += 1;
             }
         }
-        assert!(vectorizable >= 3, "want ≥3 vectorizable, got {vectorizable}");
+        assert!(
+            vectorizable >= 3,
+            "want ≥3 vectorizable, got {vectorizable}"
+        );
         assert!(blocked >= 2, "want ≥2 blocked, got {blocked}");
     }
 

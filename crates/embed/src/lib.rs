@@ -20,11 +20,13 @@
 
 pub mod model;
 pub mod paths;
+pub mod sites;
 pub mod vocab;
 
 pub use model::{CodeEmbedder, EmbedConfig};
 pub use paths::{extract_path_contexts, normalize_terminals, PathContext};
-pub use vocab::{hash_token, PathSample};
+pub use sites::{extract_loop_samples, LoopSite};
+pub use vocab::{hash_token, Fnv1a, PathSample};
 
 #[cfg(test)]
 mod tests {
@@ -43,10 +45,7 @@ mod tests {
         let cfg = EmbedConfig::fast();
         let mut store = ParamStore::new(3);
         let embedder = CodeEmbedder::new(&mut store, &cfg);
-        let s = sample_of(
-            "for (int i = 0; i < n; i++) { a[i] = b[i] * 2; }",
-            &cfg,
-        );
+        let s = sample_of("for (int i = 0; i < n; i++) { a[i] = b[i] * 2; }", &cfg);
         let mut g = Graph::new(&store);
         let code = embedder.forward(&mut g, &s);
         assert_eq!(g.value(code).shape(), (1, cfg.code_dim));
@@ -72,8 +71,14 @@ mod tests {
     #[test]
     fn renamed_loops_embed_identically() {
         let cfg = EmbedConfig::fast();
-        let s1 = sample_of("for (int i = 0; i < n; i++) { acc += data[i] * data[i]; }", &cfg);
-        let s2 = sample_of("for (int k = 0; k < len; k++) { sum += vec[k] * vec[k]; }", &cfg);
+        let s1 = sample_of(
+            "for (int i = 0; i < n; i++) { acc += data[i] * data[i]; }",
+            &cfg,
+        );
+        let s2 = sample_of(
+            "for (int k = 0; k < len; k++) { sum += vec[k] * vec[k]; }",
+            &cfg,
+        );
         assert_eq!(s1, s2, "alpha-renamed loops must produce equal samples");
     }
 
@@ -81,7 +86,10 @@ mod tests {
     fn different_structure_embeds_differently() {
         let cfg = EmbedConfig::fast();
         let s1 = sample_of("for (int i = 0; i < n; i++) { s += a[i]; }", &cfg);
-        let s2 = sample_of("for (int i = 0; i < n; i++) { a[i] = b[i] > 0 ? b[i] : 0; }", &cfg);
+        let s2 = sample_of(
+            "for (int i = 0; i < n; i++) { a[i] = b[i] > 0 ? b[i] : 0; }",
+            &cfg,
+        );
         assert_ne!(s1, s2);
     }
 

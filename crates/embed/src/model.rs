@@ -138,6 +138,23 @@ impl CodeEmbedder {
         g.matmul(alpha, c) // 1 × code
     }
 
+    /// Encodes a batch of samples into one `n × code_dim` node (row `i`
+    /// is exactly [`CodeEmbedder::forward`] of `samples[i]`). Batched
+    /// consumers (PPO minibatches, the serving layer) stack here and run
+    /// downstream networks once over all rows.
+    pub fn forward_batch(&self, g: &mut Graph<'_>, samples: &[&PathSample]) -> NodeId {
+        assert!(
+            !samples.is_empty(),
+            "forward_batch needs at least one sample"
+        );
+        let rows: Vec<NodeId> = samples.iter().map(|s| self.forward(g, s)).collect();
+        if rows.len() == 1 {
+            rows[0]
+        } else {
+            g.concat_rows(&rows)
+        }
+    }
+
     /// Convenience: encodes a sample and returns the plain vector (no
     /// gradients), for inference-time consumers like NNS and decision
     /// trees.
@@ -197,7 +214,10 @@ mod tests {
         let cfg = EmbedConfig::fast();
         let mut store = ParamStore::new(5);
         let e = CodeEmbedder::new(&mut store, &cfg);
-        let v1 = e.encode(&store, &sample("for (int i=0;i<n;i++) { s += a[i]; }", &cfg));
+        let v1 = e.encode(
+            &store,
+            &sample("for (int i=0;i<n;i++) { s += a[i]; }", &cfg),
+        );
         let v2 = e.encode(
             &store,
             &sample("for (int i=0;i<n;i++) { a[i] = b[2*i] * c[i]; }", &cfg),

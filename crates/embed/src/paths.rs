@@ -133,7 +133,11 @@ fn build_expr(b: &mut TreeBuilder, e: &Expr, parent: usize) {
             build_expr(b, operand, id);
         }
         ExprKind::Assign { op, target, value } => {
-            let label = if op.is_some() { "CompoundAssign" } else { "Assign" };
+            let label = if op.is_some() {
+                "CompoundAssign"
+            } else {
+                "Assign"
+            };
             let id = b.add(label, None, Some(parent));
             build_expr(b, target, id);
             if let Some(op) = op {
@@ -323,7 +327,9 @@ mod tests {
         let c = contexts("for (int i = 0; i < n; i++) { a[i] = b[i]; }");
         assert!(!c.is_empty());
         // Terminals are normalized.
-        assert!(c.iter().any(|p| p.start.starts_with("VAR") || p.end.starts_with("VAR")));
+        assert!(c
+            .iter()
+            .any(|p| p.start.starts_with("VAR") || p.end.starts_with("VAR")));
     }
 
     #[test]
@@ -377,7 +383,9 @@ mod tests {
     #[test]
     fn paths_have_direction_markers() {
         let c = contexts("for (int i = 0; i < n; i++) { a[i] = b[i]; }");
-        assert!(c.iter().any(|p| p.path.contains('^') && p.path.contains('v')));
+        assert!(c
+            .iter()
+            .any(|p| p.path.contains('^') && p.path.contains('v')));
     }
 
     #[test]

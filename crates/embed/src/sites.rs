@@ -1,0 +1,95 @@
+//! Whole-file loop sampling: source text → one [`PathSample`] per
+//! decidable innermost loop.
+//!
+//! Both inference products — the one-shot
+//! `NeuroVectorizer::vectorize_source` and the `nvc-serve` daemon — need
+//! the identical pipeline (extract innermost loops, re-parse each nest
+//! text, hash its path contexts) so that their decisions, and the serving
+//! layer's cache keys, agree exactly. This module is that single
+//! implementation.
+
+use nvc_frontend::{extract_loops, parse_statement, parse_translation_unit, FrontendError};
+
+use crate::model::EmbedConfig;
+use crate::paths::extract_path_contexts;
+use crate::vocab::PathSample;
+
+/// One decidable innermost loop of a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSite {
+    /// Enclosing function name.
+    pub function: String,
+    /// 1-based line of the loop header (where a pragma goes).
+    pub header_line: u32,
+    /// The loop's normalized path-context sample (the model observation
+    /// and the serving cache key material).
+    pub sample: PathSample,
+}
+
+/// Extracts every innermost loop of `source` and embeds its nest text
+/// into a [`PathSample`]. Loops whose nest text does not re-parse as a
+/// statement are skipped (matching the training environment, which also
+/// drops them).
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] when `source` itself does not parse.
+pub fn extract_loop_samples(
+    source: &str,
+    cfg: &EmbedConfig,
+) -> Result<Vec<LoopSite>, FrontendError> {
+    let tu = parse_translation_unit(source)?;
+    Ok(extract_loops(&tu, source)
+        .into_iter()
+        .filter(|l| l.is_innermost)
+        .filter_map(|l| {
+            let stmt = parse_statement(&l.nest_text).ok()?;
+            Some(LoopSite {
+                function: l.function,
+                header_line: l.header_line,
+                sample: PathSample::from_contexts(
+                    &extract_path_contexts(&stmt, cfg.max_paths),
+                    cfg,
+                ),
+            })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_only_innermost_loops() {
+        let src = "float a[64]; float M[8][8];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = 0.0;
+    }
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            M[i][j] = 1.0;
+        }
+    }
+}";
+        let sites = extract_loop_samples(src, &EmbedConfig::fast()).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|s| s.function == "f"));
+        assert!(sites.iter().all(|s| !s.sample.is_empty()));
+        assert_eq!(sites[0].header_line, 3);
+        assert_eq!(sites[1].header_line, 7, "inner j-loop header");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(extract_loop_samples("void f( {{{", &EmbedConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn loopless_source_yields_no_sites() {
+        let sites =
+            extract_loop_samples("int x;\nvoid f() { x = 1; }", &EmbedConfig::fast()).unwrap();
+        assert!(sites.is_empty());
+    }
+}

@@ -243,7 +243,8 @@ void f(int n) {
 
     #[test]
     fn body_directly_a_loop_counts_as_nested() {
-        let src = "int a[64];\nvoid f(int n) { for (int i=0;i<n;i++) for (int j=0;j<n;j++) a[j] = i; }";
+        let src =
+            "int a[64];\nvoid f(int n) { for (int i=0;i<n;i++) for (int j=0;j<n;j++) a[j] = i; }";
         let tu = parse_translation_unit(src).unwrap();
         let loops = extract_loops(&tu, src);
         assert_eq!(loops.len(), 2);

@@ -210,10 +210,7 @@ impl<'src> Lexer<'src> {
                 } else if let Some(expansion) = self.macros.get(&ident) {
                     // One-level object-macro expansion; spans point at the use site.
                     for t in expansion.clone() {
-                        out.push(Token {
-                            kind: t.kind,
-                            span,
-                        });
+                        out.push(Token { kind: t.kind, span });
                     }
                 } else {
                     out.push(Token {
@@ -325,11 +322,7 @@ impl<'src> Lexer<'src> {
         {
             self.advance();
             self.advance();
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(u8::is_ascii_hexdigit)
-            {
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_hexdigit) {
                 self.advance();
             }
             let text = &self.src[start + 2..self.pos];
@@ -424,10 +417,20 @@ impl<'src> Lexer<'src> {
                 self.advance();
                 c as i64
             }
-            None => return Err(FrontendError::new("unterminated character literal", line, col)),
+            None => {
+                return Err(FrontendError::new(
+                    "unterminated character literal",
+                    line,
+                    col,
+                ))
+            }
         };
         if self.bytes.get(self.pos) != Some(&b'\'') {
-            return Err(FrontendError::new("unterminated character literal", line, col));
+            return Err(FrontendError::new(
+                "unterminated character literal",
+                line,
+                col,
+            ));
         }
         self.advance();
         Ok(Token {
@@ -461,9 +464,7 @@ impl<'src> Lexer<'src> {
                     s.push(c as char);
                     self.advance();
                 }
-                None => {
-                    return Err(FrontendError::new("unterminated string literal", line, col))
-                }
+                None => return Err(FrontendError::new("unterminated string literal", line, col)),
             }
         }
         Ok(Token {
@@ -498,7 +499,7 @@ impl<'src> Lexer<'src> {
         let col = self.col;
         let start = self.pos;
         self.advance(); // '#'
-        // Skip horizontal whitespace between '#' and the directive name.
+                        // Skip horizontal whitespace between '#' and the directive name.
         while matches!(self.bytes.get(self.pos), Some(b' ') | Some(b'\t')) {
             self.advance();
         }
@@ -524,7 +525,9 @@ impl<'src> Lexer<'src> {
             "pragma" => {
                 let rest = self.take_rest_of_line();
                 let rest = rest.trim();
-                if let Some(tok) = parse_clang_loop_pragma(rest, Span::new(start, self.pos, line, col)) {
+                if let Some(tok) =
+                    parse_clang_loop_pragma(rest, Span::new(start, self.pos, line, col))
+                {
                     out.push(tok);
                 }
                 // Unrecognized pragmas are ignored, matching compiler behaviour.
@@ -569,9 +572,7 @@ impl<'src> Lexer<'src> {
                     }
                 }
                 Some(_) => self.advance(),
-                None => {
-                    return Err(FrontendError::new("unterminated __attribute__", line, col))
-                }
+                None => return Err(FrontendError::new("unterminated __attribute__", line, col)),
             }
         }
         // Trim exactly the outer double parens, keeping any parens that

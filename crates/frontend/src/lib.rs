@@ -56,7 +56,7 @@ pub use ast::{
 pub use extract::{extract_loops, ExtractedLoop};
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::Parser;
-pub use pragma::{inject_pragma, strip_pragmas};
+pub use pragma::{inject_pragma, inject_pragmas, strip_pragmas};
 pub use printer::print_translation_unit;
 
 /// Any error produced while lexing or parsing source text.

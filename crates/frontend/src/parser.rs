@@ -234,7 +234,8 @@ impl Parser {
             self.parse_function_rest(ty, name, attrs, start_span)
                 .map(Item::Function)
         } else {
-            self.parse_global_rest(ty, name, start_span).map(Item::Global)
+            self.parse_global_rest(ty, name, start_span)
+                .map(Item::Global)
         }
     }
 
@@ -1022,18 +1023,9 @@ mod tests {
     #[test]
     fn unsigned_and_long_types() {
         let tu = parse_ok("unsigned char t[16]; unsigned long big; long long x;");
-        assert_eq!(
-            tu.global("t").unwrap().ty,
-            Type::Char { unsigned: true }
-        );
-        assert_eq!(
-            tu.global("big").unwrap().ty,
-            Type::Long { unsigned: true }
-        );
-        assert_eq!(
-            tu.global("x").unwrap().ty,
-            Type::Long { unsigned: false }
-        );
+        assert_eq!(tu.global("t").unwrap().ty, Type::Char { unsigned: true });
+        assert_eq!(tu.global("big").unwrap().ty, Type::Long { unsigned: true });
+        assert_eq!(tu.global("x").unwrap().ty, Type::Long { unsigned: false });
     }
 
     #[test]
@@ -1059,9 +1051,11 @@ mod tests {
 
     #[test]
     fn pragma_without_loop_is_error() {
-        let tokens = Lexer::new("void f() {\n#pragma clang loop vectorize_width(4) interleave_count(1)\nint x; }")
-            .tokenize()
-            .unwrap();
+        let tokens = Lexer::new(
+            "void f() {\n#pragma clang loop vectorize_width(4) interleave_count(1)\nint x; }",
+        )
+        .tokenize()
+        .unwrap();
         assert!(Parser::new(tokens).parse_translation_unit().is_err());
     }
 

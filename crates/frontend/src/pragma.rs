@@ -43,6 +43,19 @@ pub fn inject_pragma(source: &str, header_line: u32, pragma: LoopPragma) -> Stri
     out.join("\n")
 }
 
+/// Injects a pragma above each `(header_line, pragma)` site, splicing
+/// bottom-up so earlier header lines stay valid while later ones shift.
+/// The input order does not matter.
+pub fn inject_pragmas(source: &str, sites: &[(u32, LoopPragma)]) -> String {
+    let mut ordered: Vec<&(u32, LoopPragma)> = sites.iter().collect();
+    ordered.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut out = source.to_string();
+    for (line, pragma) in ordered {
+        out = inject_pragma(&out, *line, *pragma);
+    }
+    out
+}
+
 /// Removes every `#pragma clang loop` line from `source`.
 ///
 /// Used to obtain the baseline variant of a file (the compiler's own cost

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn unit_access_lines() {
         // 1024 i32s = 4096 bytes = 64 lines.
-        assert_eq!(acc(AccessKind::Unit, ScalarType::I32).lines_touched(1024), 64);
+        assert_eq!(
+            acc(AccessKind::Unit, ScalarType::I32).lines_touched(1024),
+            64
+        );
         // Tiny loops still touch one line.
         assert_eq!(acc(AccessKind::Unit, ScalarType::I8).lines_touched(3), 1);
     }
@@ -168,12 +171,18 @@ mod tests {
 
     #[test]
     fn gather_touches_line_per_lane() {
-        assert_eq!(acc(AccessKind::Gather, ScalarType::F64).lines_touched(17), 17);
+        assert_eq!(
+            acc(AccessKind::Gather, ScalarType::F64).lines_touched(17),
+            17
+        );
     }
 
     #[test]
     fn invariant_touches_one_line() {
-        assert_eq!(acc(AccessKind::Invariant, ScalarType::F64).lines_touched(1000), 1);
+        assert_eq!(
+            acc(AccessKind::Invariant, ScalarType::F64).lines_touched(1000),
+            1
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ impl Instr {
     /// Operand value ids of the instruction.
     pub fn operands(&self) -> Vec<ValueId> {
         match self {
-            Instr::Const { .. } | Instr::IndVar { .. } | Instr::Param { .. } | Instr::Load { .. } => {
+            Instr::Const { .. }
+            | Instr::IndVar { .. }
+            | Instr::Param { .. }
+            | Instr::Load { .. } => {
                 vec![]
             }
             Instr::Store { value, .. } => vec![*value],
@@ -323,7 +326,11 @@ impl LoopIr {
 
     /// Number of times the innermost loop is entered per kernel invocation.
     pub fn outer_executions(&self) -> u64 {
-        self.outer.iter().map(|o| o.trip.max(1)).product::<u64>().max(1)
+        self.outer
+            .iter()
+            .map(|o| o.trip.max(1))
+            .product::<u64>()
+            .max(1)
     }
 
     /// Loads in the body.

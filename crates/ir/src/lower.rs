@@ -113,9 +113,9 @@ pub fn lower_loop(
         &mut scopes,
         &mut out,
     )?;
-    out.into_iter().next().ok_or_else(|| {
-        IrError::UnsupportedLoopForm("statement contains no innermost loop".into())
-    })
+    out.into_iter()
+        .next()
+        .ok_or_else(|| IrError::UnsupportedLoopForm("statement contains no innermost loop".into()))
 }
 
 // ---------------------------------------------------------------------
@@ -553,13 +553,7 @@ impl<'a> BodyLowering<'a> {
                 } else {
                     ScalarType::I32
                 };
-                (
-                    self.emit(Instr::Const {
-                        val: *v as f64,
-                        ty,
-                    }),
-                    ty,
-                )
+                (self.emit(Instr::Const { val: *v as f64, ty }), ty)
             }
             ExprKind::FloatLit(v) => {
                 // Unsuffixed float literals are treated as f32 in the
@@ -578,7 +572,11 @@ impl<'a> BodyLowering<'a> {
                     UnaryOp::Not => UnOpIr::Not,
                     UnaryOp::BitNot => UnOpIr::BitNot,
                 };
-                let ty = if *op == UnaryOp::Not { ScalarType::I1 } else { ty };
+                let ty = if *op == UnaryOp::Not {
+                    ScalarType::I1
+                } else {
+                    ty
+                };
                 (self.emit(Instr::Un { op: op_ir, a, ty }), ty)
             }
             ExprKind::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs),
@@ -693,10 +691,7 @@ impl<'a> BodyLowering<'a> {
                 BinaryOp::Eq => CmpOp::Eq,
                 _ => CmpOp::Ne,
             };
-            return (
-                self.emit(Instr::Cmp { op: cmp, a, b, ty }),
-                ScalarType::I1,
-            );
+            return (self.emit(Instr::Cmp { op: cmp, a, b, ty }), ScalarType::I1);
         }
         let ir_op = match op {
             BinaryOp::Add => BinOpIr::Add,
@@ -711,14 +706,24 @@ impl<'a> BodyLowering<'a> {
             BinaryOp::BitXor => BinOpIr::Xor,
             _ => unreachable!("comparisons handled above"),
         };
-        (self.emit(Instr::Bin { op: ir_op, a, b, ty }), ty)
+        (
+            self.emit(Instr::Bin {
+                op: ir_op,
+                a,
+                b,
+                ty,
+            }),
+            ty,
+        )
     }
 
     fn lower_call(&mut self, callee: &str, args: &[Expr]) -> (ValueId, ScalarType) {
         let arg_vals: Vec<(ValueId, ScalarType)> =
             args.iter().map(|a| self.lower_expr(a)).collect();
-        let (vectorizable, ty) = math_fn_info(callee)
-            .unwrap_or((false, arg_vals.first().map(|a| a.1).unwrap_or(ScalarType::I32)));
+        let (vectorizable, ty) = math_fn_info(callee).unwrap_or((
+            false,
+            arg_vals.first().map(|a| a.1).unwrap_or(ScalarType::I32),
+        ));
         if math_fn_info(callee).is_none() {
             self.block(format!("call to unknown function `{callee}`"));
         }
@@ -832,7 +837,11 @@ impl<'a> BodyLowering<'a> {
             }
         };
         // Dimension coefficients for linearization.
-        let ndims = if info.dims.is_empty() { 1 } else { info.dims.len() };
+        let ndims = if info.dims.is_empty() {
+            1
+        } else {
+            info.dims.len()
+        };
         if indices.len() != ndims {
             self.block(format!(
                 "partial indexing of `{array}` ({} of {} dims)",
@@ -1112,8 +1121,7 @@ impl<'a> BodyLowering<'a> {
                                 self.accesses.pop();
                                 let (v, vty) = self.lower_expr(value);
                                 let v = self.coerce(v, vty, ty);
-                                let name =
-                                    nvc_frontend::printer::print_expr(target);
+                                let name = nvc_frontend::printer::print_expr(target);
                                 let red = self.intern_reduction(&name, kind, ty);
                                 self.emit(Instr::ReduceUpdate { red, value: v, ty });
                                 return;
@@ -1159,7 +1167,10 @@ impl<'a> BodyLowering<'a> {
                 if let Some(idx) = self.analyze_access(target, true) {
                     let ty = self.accesses[idx].ty;
                     let v = self.coerce(v, vty, ty);
-                    self.emit(Instr::Store { access: idx, value: v });
+                    self.emit(Instr::Store {
+                        access: idx,
+                        value: v,
+                    });
                 }
             }
             ExprKind::Ident(name) => self.lower_scalar_assign(op, name, value),
@@ -1189,7 +1200,12 @@ impl<'a> BodyLowering<'a> {
                 let a = self.coerce(old, oty, ty);
                 let b = self.coerce(v, vty, ty);
                 let ir_op = bin_ir(cop).unwrap_or(BinOpIr::Add);
-                let r = self.emit(Instr::Bin { op: ir_op, a, b, ty });
+                let r = self.emit(Instr::Bin {
+                    op: ir_op,
+                    a,
+                    b,
+                    ty,
+                });
                 self.coerce(r, ty, sty)
             } else {
                 self.coerce(v, vty, sty)
@@ -1558,7 +1574,16 @@ fn exprs_equal(a: &Expr, b: &Expr) -> bool {
                 operand: x2,
             },
         ) => t1 == t2 && exprs_equal(x1, x2),
-        (Call { callee: c1, args: a1 }, Call { callee: c2, args: a2 }) => {
+        (
+            Call {
+                callee: c1,
+                args: a1,
+            },
+            Call {
+                callee: c2,
+                args: a2,
+            },
+        ) => {
             c1 == c2
                 && a1.len() == a2.len()
                 && a1.iter().zip(a2.iter()).all(|(x, y)| exprs_equal(x, y))
@@ -1790,11 +1815,7 @@ void mm(int n) {
         assert_eq!(l.ir.trip.count(), 1024);
         // Ternary lowers to select, not control flow: no predication needed.
         assert!(!l.ir.predicated);
-        assert!(l
-            .ir
-            .body
-            .iter()
-            .any(|i| matches!(i, Instr::Select { .. })));
+        assert!(l.ir.body.iter().any(|i| matches!(i, Instr::Select { .. })));
         assert!(!l.ir.not_vectorizable);
     }
 
@@ -1861,11 +1882,13 @@ void mm(int n) {
         let env = ParamEnv::new().with("n", 1024);
         let l = lower_first(src, &env);
         assert!(!l.ir.not_vectorizable);
-        assert!(l
-            .ir
-            .body
-            .iter()
-            .any(|i| matches!(i, Instr::Call { vectorizable: true, .. })));
+        assert!(l.ir.body.iter().any(|i| matches!(
+            i,
+            Instr::Call {
+                vectorizable: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1910,7 +1933,8 @@ void mm(int n) {
 
     #[test]
     fn pointer_param_arrays_use_env_sizes() {
-        let src = "void f(float *dst, float *src, int n) { for (int i=0;i<n;i++) { dst[i] = src[i]; } }";
+        let src =
+            "void f(float *dst, float *src, int n) { for (int i=0;i<n;i++) { dst[i] = src[i]; } }";
         let env = ParamEnv::new()
             .with("n", 4096)
             .with_array_len("dst", 4096)
@@ -2004,7 +2028,8 @@ void mm() { for (int i=0;i<64;i++) for (int j=0;j<64;j++) for (int k=0;k<64;k++)
     #[test]
     fn variant_compound_store_stays_memory() {
         // a[i] += b[i] must remain a load/store pair.
-        let src = "float a[128]; float b[128];\nvoid f() { for (int i=0;i<128;i++) { a[i] += b[i]; } }";
+        let src =
+            "float a[128]; float b[128];\nvoid f() { for (int i=0;i<128;i++) { a[i] += b[i]; } }";
         let l = lower_first(src, &ParamEnv::new());
         assert_eq!(l.ir.reductions.len(), 0);
         assert_eq!(l.ir.stores().count(), 1);

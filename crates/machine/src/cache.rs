@@ -180,7 +180,11 @@ mod tests {
         let t = TargetConfig::i7_8559u();
         // Three 24 KB streams: each alone fits L1 (32 KB) but together (72 KB)
         // they do not — they should demote to L2.
-        let mut s = vec![keyed(24 * 1024, 0), keyed(24 * 1024, 1), keyed(24 * 1024, 2)];
+        let mut s = vec![
+            keyed(24 * 1024, 0),
+            keyed(24 * 1024, 1),
+            keyed(24 * 1024, 2),
+        ];
         assign_residency(&mut s, &t);
         assert!(s.iter().all(|x| x.level == CacheLevel::L2));
     }
@@ -189,7 +193,11 @@ mod tests {
     fn same_array_streams_share_footprint() {
         let t = TargetConfig::i7_8559u();
         // Three access sites into one 24 KB array count once → stays L1.
-        let mut s = vec![keyed(24 * 1024, 7), keyed(24 * 1024, 7), keyed(24 * 1024, 7)];
+        let mut s = vec![
+            keyed(24 * 1024, 7),
+            keyed(24 * 1024, 7),
+            keyed(24 * 1024, 7),
+        ];
         assign_residency(&mut s, &t);
         assert!(s.iter().all(|x| x.level == CacheLevel::L1));
     }

@@ -134,7 +134,11 @@ pub fn simulate_loop(shape: &LoopShape, target: &TargetConfig) -> LoopTiming {
     let mut uops = shape.uops.clone();
     if excess_regs > 0.0 {
         uops.push(UopBundle::new(ResourceClass::VLoad, excess_regs * 0.5, 4.0));
-        uops.push(UopBundle::new(ResourceClass::VStore, excess_regs * 0.5, 1.0));
+        uops.push(UopBundle::new(
+            ResourceClass::VStore,
+            excess_regs * 0.5,
+            1.0,
+        ));
     }
 
     // ---- ResMII ----------------------------------------------------------

@@ -327,11 +327,7 @@ impl<'s> Graph<'s> {
     /// Panics if `loss` is not scalar or `backward` was already run.
     pub fn backward(&mut self, loss: NodeId) {
         assert!(!self.ran_backward, "backward may only run once per graph");
-        assert_eq!(
-            self.values[loss.0].shape(),
-            (1, 1),
-            "loss must be a scalar"
-        );
+        assert_eq!(self.values[loss.0].shape(), (1, 1), "loss must be a scalar");
         self.ran_backward = true;
         self.grads[loss.0] = Some(Tensor::scalar(1.0));
 
@@ -400,13 +396,16 @@ impl<'s> Graph<'s> {
                 Op::Scale(a, c) => self.accum(a, g.map(|x| x * c)),
                 Op::AddScalar(a, _) => self.accum(a, g),
                 Op::Clamp(a, lo, hi) => {
-                    let da = g.zip(&self.values[a.0], |gd, x| {
-                        if x > lo && x < hi {
-                            gd
-                        } else {
-                            0.0
-                        }
-                    });
+                    let da = g.zip(
+                        &self.values[a.0],
+                        |gd, x| {
+                            if x > lo && x < hi {
+                                gd
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
                     self.accum(a, da);
                 }
                 Op::Tanh(a) => {
@@ -611,99 +610,155 @@ mod tests {
 
     #[test]
     fn grad_matmul() {
-        grad_check((3, 4), |g, p| {
-            let w = g.input(Tensor::from_vec(4, 2, (0..8).map(|i| i as f32 * 0.1).collect()));
-            let y = g.matmul(p, w);
-            g.sum_all(y)
-        }, 1);
+        grad_check(
+            (3, 4),
+            |g, p| {
+                let w = g.input(Tensor::from_vec(
+                    4,
+                    2,
+                    (0..8).map(|i| i as f32 * 0.1).collect(),
+                ));
+                let y = g.matmul(p, w);
+                g.sum_all(y)
+            },
+            1,
+        );
     }
 
     #[test]
     fn grad_matmul_rhs() {
-        grad_check((4, 2), |g, p| {
-            let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.1 - 0.5).collect()));
-            let y = g.matmul(x, p);
-            g.sum_all(y)
-        }, 2);
+        grad_check(
+            (4, 2),
+            |g, p| {
+                let x = g.input(Tensor::from_vec(
+                    3,
+                    4,
+                    (0..12).map(|i| i as f32 * 0.1 - 0.5).collect(),
+                ));
+                let y = g.matmul(x, p);
+                g.sum_all(y)
+            },
+            2,
+        );
     }
 
     #[test]
     fn grad_tanh_relu_exp_ln() {
-        grad_check((2, 3), |g, p| {
-            let t = g.tanh(p);
-            let r = g.relu(t);
-            let e = g.exp(r);
-            let pos = g.add_scalar(e, 1.0);
-            let l = g.ln(pos);
-            g.sum_all(l)
-        }, 3);
+        grad_check(
+            (2, 3),
+            |g, p| {
+                let t = g.tanh(p);
+                let r = g.relu(t);
+                let e = g.exp(r);
+                let pos = g.add_scalar(e, 1.0);
+                let l = g.ln(pos);
+                g.sum_all(l)
+            },
+            3,
+        );
     }
 
     #[test]
     fn grad_softmax_rows() {
-        grad_check((2, 4), |g, p| {
-            let s = g.softmax_rows(p);
-            let w = g.input(Tensor::from_vec(2, 4, vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4, 0.8, -0.5]));
-            let m = g.mul_elem(s, w);
-            g.sum_all(m)
-        }, 4);
+        grad_check(
+            (2, 4),
+            |g, p| {
+                let s = g.softmax_rows(p);
+                let w = g.input(Tensor::from_vec(
+                    2,
+                    4,
+                    vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4, 0.8, -0.5],
+                ));
+                let m = g.mul_elem(s, w);
+                g.sum_all(m)
+            },
+            4,
+        );
     }
 
     #[test]
     fn grad_log_softmax_rows() {
-        grad_check((2, 5), |g, p| {
-            let s = g.log_softmax_rows(p);
-            let picked = g.pick_per_row(s, &[1, 3]);
-            g.sum_all(picked)
-        }, 5);
+        grad_check(
+            (2, 5),
+            |g, p| {
+                let s = g.log_softmax_rows(p);
+                let picked = g.pick_per_row(s, &[1, 3]);
+                g.sum_all(picked)
+            },
+            5,
+        );
     }
 
     #[test]
     fn grad_gather_rows() {
-        grad_check((5, 3), |g, p| {
-            let rows = g.gather_rows(p, &[0, 2, 2, 4]);
-            let sq = g.mul_elem(rows, rows);
-            g.sum_all(sq)
-        }, 6);
+        grad_check(
+            (5, 3),
+            |g, p| {
+                let rows = g.gather_rows(p, &[0, 2, 2, 4]);
+                let sq = g.mul_elem(rows, rows);
+                g.sum_all(sq)
+            },
+            6,
+        );
     }
 
     #[test]
     fn grad_concat_and_transpose() {
-        grad_check((2, 3), |g, p| {
-            let t = g.transpose(p); // 3x2
-            let c = g.concat_cols(&[t, t]); // 3x4
-            let r = g.concat_rows(&[c, c]); // 6x4
-            let sq = g.mul_elem(r, r);
-            g.mean_all(sq)
-        }, 7);
+        grad_check(
+            (2, 3),
+            |g, p| {
+                let t = g.transpose(p); // 3x2
+                let c = g.concat_cols(&[t, t]); // 3x4
+                let r = g.concat_rows(&[c, c]); // 6x4
+                let sq = g.mul_elem(r, r);
+                g.mean_all(sq)
+            },
+            7,
+        );
     }
 
     #[test]
     fn grad_minimum_and_clamp() {
-        grad_check((3, 3), |g, p| {
-            let s = g.scale(p, 2.0);
-            let c = g.clamp(s, -0.8, 0.8);
-            let m = g.minimum(s, c);
-            g.sum_all(m)
-        }, 8);
+        grad_check(
+            (3, 3),
+            |g, p| {
+                let s = g.scale(p, 2.0);
+                let c = g.clamp(s, -0.8, 0.8);
+                let m = g.minimum(s, c);
+                g.sum_all(m)
+            },
+            8,
+        );
     }
 
     #[test]
     fn grad_add_sub_broadcast() {
-        grad_check((1, 4), |g, p| {
-            let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.05).collect()));
-            let y = g.add_row_broadcast(x, p);
-            let z = g.sub(y, x);
-            let w = g.add(z, y);
-            g.mean_all(w)
-        }, 9);
+        grad_check(
+            (1, 4),
+            |g, p| {
+                let x = g.input(Tensor::from_vec(
+                    3,
+                    4,
+                    (0..12).map(|i| i as f32 * 0.05).collect(),
+                ));
+                let y = g.add_row_broadcast(x, p);
+                let z = g.sub(y, x);
+                let w = g.add(z, y);
+                g.mean_all(w)
+            },
+            9,
+        );
     }
 
     #[test]
     fn softmax_rows_sum_to_one() {
         let store = ParamStore::new(0);
         let mut g = Graph::new(&store);
-        let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32).sin()).collect()));
+        let x = g.input(Tensor::from_vec(
+            3,
+            4,
+            (0..12).map(|i| (i as f32).sin()).collect(),
+        ));
         let s = g.softmax_rows(x);
         for r in 0..3 {
             let sum: f32 = g.value(s).row(r).iter().sum();

@@ -142,7 +142,10 @@ mod tests {
     fn roundtrip_exact() {
         let mut s = ParamStore::new(11);
         s.param_xavier("enc.w", 7, 5);
-        s.param("enc.b", Tensor::from_vec(1, 3, vec![0.1, -2.5e-8, f32::MIN_POSITIVE]));
+        s.param(
+            "enc.b",
+            Tensor::from_vec(1, 3, vec![0.1, -2.5e-8, f32::MIN_POSITIVE]),
+        );
         let text = to_string(&s);
 
         let mut s2 = ParamStore::new(0);

@@ -69,7 +69,9 @@ pub fn const_header(stmt: &Stmt) -> Option<ConstHeader> {
         _ => return None,
     };
     let step_val = match step.as_ref().map(|e| &e.kind) {
-        Some(ExprKind::IncDec { target, delta: 1, .. }) => match &target.kind {
+        Some(ExprKind::IncDec {
+            target, delta: 1, ..
+        }) => match &target.kind {
             ExprKind::Ident(n) if *n == iv => 1,
             _ => return None,
         },
@@ -136,7 +138,11 @@ fn walk_stmt(stmt: &Stmt, out: &mut Vec<AstAccess>) {
         }
         StmtKind::Expr(e) => walk_expr(e, false, false, out),
         StmtKind::For {
-            init, cond, step, body, ..
+            init,
+            cond,
+            step,
+            body,
+            ..
         } => {
             if let Some(i) = init {
                 walk_stmt(i, out);
@@ -298,8 +304,7 @@ pub fn reorder_safe(accesses: &[AstAccess]) -> bool {
         if s.is_assoc_update {
             continue;
         }
-        let same_array: Vec<&AstAccess> =
-            accesses.iter().filter(|a| a.array == s.array).collect();
+        let same_array: Vec<&AstAccess> = accesses.iter().filter(|a| a.array == s.array).collect();
         let all_identical = same_array.iter().all(|a| {
             a.indices.len() == s.indices.len()
                 && a.indices
@@ -343,7 +348,11 @@ pub fn rename_ident_stmt(stmt: &mut Stmt, from: &str, to: &str) {
         }
         StmtKind::Expr(e) => rename_ident_expr(e, from, to),
         StmtKind::For {
-            init, cond, step, body, ..
+            init,
+            cond,
+            step,
+            body,
+            ..
         } => {
             if let Some(i) = init {
                 rename_ident_stmt(i, from, to);
@@ -463,8 +472,7 @@ mod tests {
 
     #[test]
     fn linearized_strides_in_gemm() {
-        let tu =
-            parse_translation_unit("float A[256][256]; float B[256][256];").unwrap();
+        let tu = parse_translation_unit("float A[256][256]; float B[256][256];").unwrap();
         let dims = array_dims(&tu);
         let s = parse_statement("x = A[i][k] + B[k][j];").unwrap();
         let acc = collect_accesses(&s);

@@ -120,10 +120,7 @@ fn try_fuse(first: &Stmt, second: &Stmt) -> Option<Stmt> {
 
     // Merge the bodies into one block.
     let span = first.span.merge(second.span);
-    let merged = Stmt::new(
-        StmtKind::Block(vec![(**body1).clone(), body2]),
-        span,
-    );
+    let merged = Stmt::new(StmtKind::Block(vec![(**body1).clone(), body2]), span);
     Some(Stmt::new(
         StmtKind::For {
             init: init.clone(),

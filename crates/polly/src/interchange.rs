@@ -104,8 +104,7 @@ fn try_interchange(outer: &mut Stmt, dims: &HashMap<String, Vec<i64>>) -> bool {
         }
         Some(total)
     };
-    let (Some(inner_score), Some(outer_score)) =
-        (score(&inner_header.iv), score(&outer_header.iv))
+    let (Some(inner_score), Some(outer_score)) = (score(&inner_header.iv), score(&outer_header.iv))
     else {
         return false;
     };

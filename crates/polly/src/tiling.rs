@@ -42,12 +42,7 @@ pub fn tile_in_unit(tu: &mut TranslationUnit, tile: i64, min_trip: i64) -> usize
     count
 }
 
-fn tile_stmt(
-    stmt: &mut Stmt,
-    tile: i64,
-    min_trip: i64,
-    sizes: &HashMap<String, i64>,
-) -> usize {
+fn tile_stmt(stmt: &mut Stmt, tile: i64, min_trip: i64, sizes: &HashMap<String, i64>) -> usize {
     let mut count = 0;
     match &mut stmt.kind {
         StmtKind::Block(stmts) => {
@@ -103,12 +98,7 @@ fn perfect_nest(stmt: &Stmt) -> (Vec<ConstHeader>, &Stmt) {
     (headers, stmt)
 }
 
-fn try_tile(
-    stmt: &mut Stmt,
-    tile: i64,
-    min_trip: i64,
-    sizes: &HashMap<String, i64>,
-) -> bool {
+fn try_tile(stmt: &mut Stmt, tile: i64, min_trip: i64, sizes: &HashMap<String, i64>) -> bool {
     let (headers, innermost_body) = perfect_nest(stmt);
     if headers.len() < 2 || headers.len() > 3 {
         return false;
@@ -361,8 +351,7 @@ void f() { for (int i = 0; i < 256; i++) { for (int j = 0; j < 256; j++) { for (
         let (out, n) = run(src, 32, 128);
         assert_eq!(n, 1);
         let tu = parse_translation_unit(&out).unwrap();
-        let loops =
-            nvc_ir::lower_innermost_loops(&tu, &out, &nvc_ir::ParamEnv::new()).unwrap();
+        let loops = nvc_ir::lower_innermost_loops(&tu, &out, &nvc_ir::ParamEnv::new()).unwrap();
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].ir.trip.count(), 32);
         assert_eq!(loops[0].ir.outer.len(), 5);

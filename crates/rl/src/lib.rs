@@ -109,7 +109,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 3, "only {correct}/4 contexts predicted optimally");
+        assert!(
+            correct >= 3,
+            "only {correct}/4 contexts predicted optimally"
+        );
     }
 
     #[test]
@@ -131,10 +134,7 @@ mod tests {
             let stats = trainer.train(&mut env, 30, &mut rng);
             let first = stats.first().unwrap().reward_mean;
             let last = stats.last().unwrap().reward_mean;
-            assert!(
-                last > first,
-                "{kind:?} did not improve: {first} → {last}"
-            );
+            assert!(last > first, "{kind:?} did not improve: {first} → {last}");
         }
     }
 }

@@ -251,6 +251,45 @@ impl PpoTrainer {
         }
     }
 
+    /// Greedy actions for a whole batch of samples in **one** graph:
+    /// every embedding is stacked into a single `n × code_dim`
+    /// observation and the policy runs one forward pass over it.
+    ///
+    /// Row-major matmul and the row-wise activations compute each output
+    /// row from its input row alone, so the result is bitwise-identical
+    /// to calling [`PpoTrainer::predict`] per sample — the batched path
+    /// is a pure throughput optimization (this is what `nvc-serve`'s
+    /// batching layer calls).
+    pub fn predict_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new(&self.store);
+        let obs = self.embedder.forward_batch(&mut g, samples);
+        let out = self.policy.forward(&mut g, obs);
+        match self.cfg.action_space {
+            ActionSpaceKind::Discrete => {
+                let lv = g.value(out.logits_vf.expect("discrete"));
+                let li = g.value(out.logits_if.expect("discrete"));
+                (0..samples.len())
+                    .map(|r| (argmax(lv.row(r)), argmax(li.row(r))))
+                    .collect()
+            }
+            ActionSpaceKind::Continuous1D => {
+                let mu = g.value(out.mu.expect("continuous"));
+                (0..samples.len())
+                    .map(|r| self.cfg.action_dims.decode_1d(mu.row(r)[0]))
+                    .collect()
+            }
+            ActionSpaceKind::Continuous2D => {
+                let mu = g.value(out.mu.expect("continuous"));
+                (0..samples.len())
+                    .map(|r| self.cfg.action_dims.decode_2d(mu.row(r)[0], mu.row(r)[1]))
+                    .collect()
+            }
+        }
+    }
+
     /// The value estimate for a sample (used by analysis tooling).
     pub fn value_of(&self, sample: &PathSample) -> f32 {
         let mut g = Graph::new(&self.store);
@@ -335,11 +374,8 @@ impl PpoTrainer {
         let mut g = Graph::new(&self.store);
 
         // Batched observation: embed each loop, stack rows.
-        let rows: Vec<NodeId> = idxs
-            .iter()
-            .map(|&i| self.embedder.forward(&mut g, env.context(batch[i].ctx)))
-            .collect();
-        let obs = g.concat_rows(&rows);
+        let samples: Vec<&PathSample> = idxs.iter().map(|&i| env.context(batch[i].ctx)).collect();
+        let obs = self.embedder.forward_batch(&mut g, &samples);
         let pol = self.policy.forward(&mut g, obs);
 
         let adv = g.input(Tensor::from_vec(
@@ -405,7 +441,7 @@ impl PpoTrainer {
                 let ls_b = g.matmul(ones, ls); // broadcast logσ
                 let t1 = g.sub(half_z2, ls_b);
                 let t2 = g.add_scalar(t1, -0.918_938_5); // −½ln2π
-                // Row-sum over dims → n × 1.
+                                                         // Row-sum over dims → n × 1.
                 let ones_d = g.input(Tensor::full(dims, 1, 1.0));
                 let logp = g.matmul(t2, ones_d);
                 // Entropy = Σ_d (½ + ½ln2π + logσ).
@@ -545,6 +581,37 @@ mod tests {
     fn argmax_picks_largest() {
         assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
         assert_eq!(argmax(&[-1.0, -2.0]), 0);
+    }
+
+    #[test]
+    fn predict_batch_matches_single_predictions() {
+        use nvc_embed::EmbedConfig;
+
+        let mk = |base: usize| PathSample {
+            starts: vec![base, base + 1, base + 2],
+            paths: vec![base * 2, base * 2 + 1, base * 2 + 2],
+            ends: vec![base + 5, base + 6, base + 7],
+        };
+        let samples: Vec<PathSample> = (0..9).map(|i| mk(i * 4)).collect();
+        for kind in [
+            ActionSpaceKind::Discrete,
+            ActionSpaceKind::Continuous1D,
+            ActionSpaceKind::Continuous2D,
+        ] {
+            let cfg = PpoConfig {
+                hidden: vec![16, 16],
+                action_space: kind,
+                action_dims: ActionDims { n_vf: 7, n_if: 5 },
+                ..PpoConfig::default()
+            };
+            let trainer = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 23);
+            let refs: Vec<&PathSample> = samples.iter().collect();
+            let batched = trainer.predict_batch(&refs);
+            let single: Vec<(usize, usize)> = samples.iter().map(|s| trainer.predict(s)).collect();
+            assert_eq!(batched, single, "batched path diverged for {kind:?}");
+        }
+        let trainer = PpoTrainer::new(&PpoConfig::default(), &EmbedConfig::fast(), 23);
+        assert!(trainer.predict_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The batching layer: cache misses from all requests funnel into one
+//! bounded queue; worker threads drain it in batches and run a single
+//! model forward pass per batch.
+//!
+//! A worker flushes when either `batch_size` jobs are waiting or
+//! `flush_deadline` has elapsed since it saw the first job — the classic
+//! latency/throughput coalescing knob. The queue is bounded: when it is
+//! full, `submit` blocks until a worker drains (backpressure), and after
+//! shutdown it fails fast by returning an already-disconnected receiver.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use nvc_embed::PathSample;
+
+use crate::metrics::Metrics;
+use crate::DecisionModel;
+
+/// One pending decision: the sample to embed and where to send the result.
+struct Job {
+    sample: PathSample,
+    reply: Sender<(usize, usize)>,
+}
+
+/// The shared miss queue.
+pub struct Batcher {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    space: Condvar,
+    shutdown: AtomicBool,
+    batch_size: usize,
+    capacity: usize,
+    flush_deadline: Duration,
+}
+
+impl Batcher {
+    /// Builds a queue that coalesces up to `batch_size` jobs, waiting at
+    /// most `flush_deadline` to fill a partial batch and holding at most
+    /// `capacity` pending jobs before `submit` blocks.
+    pub fn new(batch_size: usize, capacity: usize, flush_deadline: Duration) -> Self {
+        Batcher {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch_size: batch_size.max(1),
+            capacity: capacity.max(1),
+            flush_deadline,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a sample; the returned receiver yields its decision.
+    ///
+    /// Blocks while the queue is at capacity (backpressure). After
+    /// [`Batcher::stop`] the receiver comes back already disconnected, so
+    /// callers fail fast instead of waiting out their timeout.
+    pub fn submit(&self, sample: PathSample) -> Receiver<(usize, usize)> {
+        let (reply, rx) = channel();
+        if self.is_shut_down() {
+            return rx;
+        }
+        let mut q = self.lock();
+        while q.len() >= self.capacity {
+            if self.is_shut_down() {
+                return rx;
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        // Re-check under the lock: a worker only exits after observing
+        // shutdown with an *empty* queue while holding this lock, so if
+        // the flag is still clear here, whoever exits later must first
+        // see (and drain) the job we are about to push.
+        if self.is_shut_down() {
+            return rx;
+        }
+        q.push_back(Job { sample, reply });
+        drop(q);
+        self.available.notify_one();
+        rx
+    }
+
+    /// True once [`Batcher::stop`] was called.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Wakes every worker and makes them exit after draining the queue.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.available.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Worker body: drain batches and run the model until shutdown.
+    /// Spawn one thread per configured worker with this.
+    pub fn worker_loop(&self, model: &dyn DecisionModel, metrics: &Metrics) {
+        loop {
+            let mut q = self.lock();
+            // Wait for work (or shutdown, once the queue is empty).
+            while q.is_empty() {
+                if self.is_shut_down() {
+                    return;
+                }
+                let (guard, _) = self
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            // Give the batch a chance to fill before flushing.
+            if self.batch_size > 1 && !self.is_shut_down() {
+                let deadline = Instant::now() + self.flush_deadline;
+                while q.len() < self.batch_size {
+                    let now = Instant::now();
+                    if now >= deadline || self.is_shut_down() {
+                        break;
+                    }
+                    let (guard, _) = self
+                        .available
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                }
+            }
+            let take = q.len().min(self.batch_size);
+            let jobs: Vec<Job> = q.drain(..take).collect();
+            let more = !q.is_empty();
+            drop(q);
+            self.space.notify_all();
+            if more {
+                // Let a sibling worker start on the remainder immediately.
+                self.available.notify_one();
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            let samples: Vec<&PathSample> = jobs.iter().map(|j| &j.sample).collect();
+            let decisions = model.decide_batch(&samples);
+            debug_assert_eq!(decisions.len(), jobs.len());
+            metrics.record_batch(jobs.len());
+            for (job, decision) in jobs.into_iter().zip(decisions) {
+                // A dropped receiver (abandoned request) is not an error.
+                let _ = job.reply.send(decision);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_embed::EmbedConfig;
+    use nvc_machine::TargetConfig;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// Deterministic stub: decision derived from the sample itself;
+    /// counts the batch sizes it sees.
+    struct Stub {
+        embed: EmbedConfig,
+        target: TargetConfig,
+        calls: AtomicU64,
+        largest_batch: AtomicU64,
+    }
+
+    impl Stub {
+        fn new() -> Self {
+            Stub {
+                embed: EmbedConfig::fast(),
+                target: TargetConfig::i7_8559u(),
+                calls: AtomicU64::new(0),
+                largest_batch: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl DecisionModel for Stub {
+        fn embed_config(&self) -> &EmbedConfig {
+            &self.embed
+        }
+
+        fn target(&self) -> &TargetConfig {
+            &self.target
+        }
+
+        fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.largest_batch
+                .fetch_max(samples.len() as u64, Ordering::Relaxed);
+            samples
+                .iter()
+                .map(|s| (s.starts[0] % 7, s.paths[0] % 5))
+                .collect()
+        }
+    }
+
+    fn sample(tag: usize) -> PathSample {
+        PathSample {
+            starts: vec![tag, tag + 1],
+            paths: vec![tag * 3],
+            ends: vec![tag + 2],
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_and_answers_route_back() {
+        let model = Arc::new(Stub::new());
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Arc::new(Batcher::new(16, 1024, Duration::from_millis(10)));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (b, m, mm) = (
+                    Arc::clone(&batcher),
+                    Arc::clone(&model),
+                    Arc::clone(&metrics),
+                );
+                std::thread::spawn(move || b.worker_loop(&*m, &mm))
+            })
+            .collect();
+
+        let receivers: Vec<_> = (0..64).map(|i| batcher.submit(sample(i))).collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let d = rx.recv_timeout(Duration::from_secs(5)).expect("decision");
+            assert_eq!(d, (i % 7, (i * 3) % 5), "job {i} got the wrong reply");
+        }
+        batcher.stop();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let calls = model.calls.load(Ordering::Relaxed);
+        assert!(
+            calls < 64,
+            "64 jobs ran in {calls} calls — nothing coalesced"
+        );
+        assert!(model.largest_batch.load(Ordering::Relaxed) > 1);
+        assert_eq!(metrics.snapshot().batched_loops, 64);
+    }
+
+    #[test]
+    fn batch_size_one_never_coalesces() {
+        let model = Arc::new(Stub::new());
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Arc::new(Batcher::new(1, 1024, Duration::from_millis(10)));
+        let worker = {
+            let (b, m, mm) = (
+                Arc::clone(&batcher),
+                Arc::clone(&model),
+                Arc::clone(&metrics),
+            );
+            std::thread::spawn(move || b.worker_loop(&*m, &mm))
+        };
+        for i in 0..20 {
+            let rx = batcher.submit(sample(i));
+            rx.recv_timeout(Duration::from_secs(5)).expect("decision");
+        }
+        batcher.stop();
+        worker.join().unwrap();
+        assert_eq!(model.largest_batch.load(Ordering::Relaxed), 1);
+        assert_eq!(model.calls.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn submit_after_stop_fails_fast() {
+        let batcher = Batcher::new(4, 1024, Duration::from_millis(5));
+        batcher.stop();
+        let rx = batcher.submit(sample(0));
+        let t0 = std::time::Instant::now();
+        assert!(
+            rx.recv_timeout(Duration::from_secs(5)).is_err(),
+            "no worker exists; the receiver must be disconnected"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "disconnected receiver must fail immediately, not time out"
+        );
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        // No workers: the queue can only fill. Capacity 4.
+        let batcher = Arc::new(Batcher::new(1, 4, Duration::from_millis(5)));
+        let _held: Vec<_> = (0..4).map(|i| batcher.submit(sample(i))).collect();
+        let blocked = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                let _rx = b.submit(sample(99));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !blocked.is_finished(),
+            "5th submit into a capacity-4 queue must block"
+        );
+        batcher.stop();
+        blocked.join().unwrap();
+    }
+
+    #[test]
+    fn stop_unblocks_idle_workers() {
+        let model = Arc::new(Stub::new());
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Arc::new(Batcher::new(8, 1024, Duration::from_millis(5)));
+        let worker = {
+            let (b, m, mm) = (
+                Arc::clone(&batcher),
+                Arc::clone(&model),
+                Arc::clone(&metrics),
+            );
+            std::thread::spawn(move || b.worker_loop(&*m, &mm))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        batcher.stop();
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,317 @@
+//! The sharded LRU decision cache.
+//!
+//! Keys are 64-bit hashes of normalized loop samples ([`crate::sample_key`]);
+//! values are whatever the caller wants to memoize (the service stores
+//! `(vf_idx, if_idx)` action pairs). Shards are independent mutexes, so
+//! concurrent requests on different shards never contend; within a shard,
+//! a classic intrusive doubly-linked LRU list gives O(1) get/insert/evict.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+const NIL: usize = usize::MAX;
+
+/// Aggregated statistics across all shards.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries written (first insertions, not value refreshes).
+    pub insertions: u64,
+    /// Live entries per shard.
+    pub occupancy: Vec<usize>,
+    /// Capacity per shard.
+    pub shard_capacity: usize,
+}
+
+impl CacheStats {
+    /// Total live entries.
+    pub fn len(&self) -> usize {
+        self.occupancy.iter().sum()
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct LruShard<V> {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl<V: Copy> LruShard<V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<V> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.detach(i);
+                    self.push_front(i);
+                }
+                Some(self.slots[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.detach(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let slot = if self.map.len() >= self.capacity {
+            // Reuse the coldest entry's slot.
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.evictions += 1;
+            victim
+        } else {
+            self.slots.push(Slot {
+                key: 0,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.slots[slot].key = key;
+        self.slots[slot].value = value;
+        self.push_front(slot);
+        self.map.insert(key, slot);
+        self.insertions += 1;
+    }
+}
+
+/// A fixed-capacity LRU cache split over independently locked shards.
+#[derive(Debug)]
+pub struct ShardedLruCache<V> {
+    shards: Vec<Mutex<LruShard<V>>>,
+}
+
+impl<V: Copy> ShardedLruCache<V> {
+    /// Builds a cache holding about `capacity` entries over `shards`
+    /// shards (each shard gets `ceil(capacity / shards)`). A zero
+    /// `capacity` disables the cache: every `get` misses, `insert` is a
+    /// no-op.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedLruCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lives on (Fibonacci spreading of the high bits).
+    pub fn shard_of(&self, key: u64) -> usize {
+        let spread = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((spread >> 32) as usize) % self.shards.len()
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shards[self.shard_of(key)].lock().get(key)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's coldest entry
+    /// at capacity.
+    pub fn insert(&self, key: u64, value: V) {
+        self.shards[self.shard_of(key)].lock().insert(key, value);
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters and per-shard occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock();
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.insertions += s.insertions;
+            out.occupancy.push(s.map.len());
+            out.shard_capacity = s.capacity;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_semantics() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(8, 2);
+        assert_eq!(c.get(1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(10));
+        c.insert(1, 11);
+        assert_eq!(c.get(1), Some(11), "insert refreshes the value");
+        let st = c.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.insertions, 1, "value refresh is not an insertion");
+    }
+
+    #[test]
+    fn lru_evicts_coldest_within_shard() {
+        // One shard for a deterministic eviction order.
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(3, 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        // Touch 1 so it is warm; 2 becomes the coldest.
+        assert_eq!(c.get(1), Some(1));
+        c.insert(4, 4);
+        assert_eq!(c.get(2), None, "coldest entry must be evicted");
+        assert_eq!(c.get(1), Some(1));
+        assert_eq!(c.get(3), Some(3));
+        assert_eq!(c.get(4), Some(4));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(0, 4);
+        c.insert(9, 9);
+        assert_eq!(c.get(9), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let c: ShardedLruCache<u64> = ShardedLruCache::new(4096, 8);
+        for k in 0..512u64 {
+            // Realistic keys: FNV-style hashes, not small integers.
+            let key = k.wrapping_mul(0x100_0000_01b3).rotate_left(17) ^ 0xDEAD_BEEF;
+            c.insert(key, k);
+        }
+        let st = c.stats();
+        assert_eq!(st.len(), 512);
+        for (i, occ) in st.occupancy.iter().enumerate() {
+            assert!(
+                (16..=112).contains(occ),
+                "shard {i} occupancy {occ} far from uniform (512/8 = 64)"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let c: ShardedLruCache<u64> = ShardedLruCache::new(64, 4);
+        for k in 0..10_000u64 {
+            c.insert(k.wrapping_mul(0x9E37_79B9), k);
+        }
+        let st = c.stats();
+        assert!(st.len() <= 64 + 3, "len {} over capacity", st.len());
+        for occ in &st.occupancy {
+            assert!(*occ <= st.shard_capacity);
+        }
+        assert!(st.evictions > 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Service metrics: counters, batch accounting, and a lock-free
+//! log₂-bucketed latency histogram with p50/p99 estimates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ microsecond buckets (covers < 1 µs .. > 2⁴⁶ µs).
+const BUCKETS: usize = 48;
+
+/// A lock-free latency histogram over log₂(µs) buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record(&self, us: u64) {
+        let bucket = (64 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q ∈ [0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// All service counters. Cheap to update from any thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Vectorize requests accepted.
+    pub requests: AtomicU64,
+    /// Requests that failed (parse errors, timeouts).
+    pub errors: AtomicU64,
+    /// Innermost loops decided (cached + computed).
+    pub loops_served: AtomicU64,
+    /// Model forward passes run by the batch workers.
+    pub batches: AtomicU64,
+    /// Loops decided inside those forward passes.
+    pub batched_loops: AtomicU64,
+    /// End-to-end request latency.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Records one worker batch of `n` loops.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_loops.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_loops = self.batched_loops.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            loops_served: self.loops_served.load(Ordering::Relaxed),
+            batches,
+            batched_loops,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched_loops as f64 / batches as f64
+            },
+            latency_count: self.latency.count(),
+            latency_mean_us: self.latency.mean_us(),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`Metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Vectorize requests accepted.
+    pub requests: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Innermost loops decided.
+    pub loops_served: u64,
+    /// Model forward passes run.
+    pub batches: u64,
+    /// Loops decided inside forward passes.
+    pub batched_loops: u64,
+    /// Average loops per forward pass.
+    pub mean_batch: f64,
+    /// Latency observations.
+    pub latency_count: u64,
+    /// Mean request latency (µs).
+    pub latency_mean_us: f64,
+    /// Median request latency bucket bound (µs).
+    pub latency_p50_us: u64,
+    /// 99th-percentile latency bucket bound (µs).
+    pub latency_p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for _ in 0..98 {
+            h.record(100); // bucket 2^7 = 128
+        }
+        for _ in 0..2 {
+            h.record(10_000); // bucket 2^14 = 16384
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert!(h.quantile_us(0.99) >= 8192, "p99 must reach the slow tail");
+        assert!((h.mean_us() - (98.0 * 100.0 + 2.0 * 10_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_computes_mean_batch() {
+        let m = Metrics::default();
+        m.record_batch(4);
+        m.record_batch(8);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_loops, 12);
+        assert!((s.mean_batch - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! The JSON-lines wire protocol: request parsing and response shapes.
+//!
+//! Requests are one JSON object per line:
+//!
+//! * `{"op":"vectorize","id":"r1","source":"..."}` — annotate every
+//!   innermost loop of `source` with a policy-chosen pragma. `op` may be
+//!   omitted when `source` is present; `id` is optional and echoed back.
+//! * `{"op":"stats"}` — a metrics/cache snapshot.
+//! * `{"op":"shutdown"}` — acknowledge and stop the daemon loop.
+
+use crate::json::Json;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Vectorize one source file.
+    Vectorize {
+        /// Client correlation id, echoed back verbatim.
+        id: Option<String>,
+        /// C source to annotate.
+        source: String,
+    },
+    /// Metrics snapshot.
+    Stats {
+        /// Client correlation id.
+        id: Option<String>,
+    },
+    /// Stop the daemon after acknowledging.
+    Shutdown {
+        /// Client correlation id.
+        id: Option<String>,
+    },
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        Request::from_json(&v)
+    }
+
+    /// Interprets an already-parsed JSON value as a request.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+        let op = v.get("op").and_then(Json::as_str);
+        match op {
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            Some("vectorize") | None => {
+                let source = v
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing `source` field".to_string())?;
+                Ok(Request::Vectorize {
+                    id,
+                    source: source.to_string(),
+                })
+            }
+            Some(other) => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// The request's correlation id, if any.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Request::Vectorize { id, .. } | Request::Stats { id } | Request::Shutdown { id } => {
+                id.as_deref()
+            }
+        }
+    }
+}
+
+/// Per-loop decision detail included in a vectorize response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopReport {
+    /// Enclosing function name.
+    pub function: String,
+    /// 1-based header line the pragma was inserted above.
+    pub line: u32,
+    /// Chosen vectorization factor.
+    pub vf: u32,
+    /// Chosen interleave factor.
+    pub if_: u32,
+    /// True when the decision came from the cache.
+    pub cached: bool,
+}
+
+impl LoopReport {
+    /// The JSON object for the `loops` array.
+    pub fn to_json(&self) -> Json {
+        crate::json::obj(vec![
+            ("function", Json::from(self.function.as_str())),
+            ("line", Json::from(u64::from(self.line))),
+            ("vf", Json::from(self.vf)),
+            ("if", Json::from(self.if_)),
+            ("cached", Json::from(self.cached)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_ops() {
+        let r = Request::parse(r#"{"op":"vectorize","id":"a","source":"int x;"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Vectorize {
+                id: Some("a".into()),
+                source: "int x;".into()
+            }
+        );
+        // op defaults to vectorize when source is present.
+        let r = Request::parse(r#"{"source":"int x;"}"#).unwrap();
+        assert!(matches!(r, Request::Vectorize { id: None, .. }));
+        assert!(matches!(
+            Request::parse(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"shutdown","id":"z"}"#).unwrap(),
+            Request::Shutdown { id: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"vectorize"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"explode"}"#).is_err());
+    }
+
+    #[test]
+    fn loop_report_renders_expected_fields() {
+        let j = LoopReport {
+            function: "f".into(),
+            line: 3,
+            vf: 8,
+            if_: 2,
+            cached: true,
+        }
+        .to_json();
+        assert_eq!(j.get("function").unwrap().as_str(), Some("f"));
+        assert_eq!(j.get("line").unwrap().as_f64(), Some(3.0));
+        assert_eq!(j.get("vf").unwrap().as_f64(), Some(8.0));
+        assert_eq!(j.get("if").unwrap().as_f64(), Some(2.0));
+        assert_eq!(j.get("cached").unwrap().as_bool(), Some(true));
+    }
+}

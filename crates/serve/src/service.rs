@@ -1,0 +1,609 @@
+//! The service itself: [`ServeHandle`] (in-process API) and
+//! [`run_daemon`] (JSON-lines loop over arbitrary reader/writer pairs —
+//! stdin/stdout in production, byte buffers in tests).
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nvc_embed::{extract_loop_samples, LoopSite, PathSample};
+use nvc_frontend::{inject_pragmas, LoopPragma};
+use nvc_vectorizer::ActionSpace;
+
+use crate::batch::Batcher;
+use crate::cache::{CacheStats, ShardedLruCache};
+use crate::json::{obj, Json};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{LoopReport, Request};
+use crate::{sample_key, DecisionModel, ServeConfig};
+
+/// How long a request waits for the batch workers before giving up.
+const DECISION_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Service failures surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The source did not parse.
+    Frontend(String),
+    /// The batch workers did not answer in time (service overloaded).
+    Timeout,
+    /// The worker pool has been shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Frontend(e) => write!(f, "frontend: {e}"),
+            ServeError::Timeout => write!(f, "decision timed out"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+fn recv_decision(
+    rx: &std::sync::mpsc::Receiver<(usize, usize)>,
+) -> Result<(usize, usize), ServeError> {
+    rx.recv_timeout(DECISION_TIMEOUT).map_err(|e| match e {
+        std::sync::mpsc::RecvTimeoutError::Timeout => ServeError::Timeout,
+        std::sync::mpsc::RecvTimeoutError::Disconnected => ServeError::ShuttingDown,
+    })
+}
+
+impl std::error::Error for ServeError {}
+
+/// Result of one vectorize request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorizeOutput {
+    /// The source with pragmas injected above every decided loop.
+    pub source: String,
+    /// Per-loop decisions, in source order.
+    pub loops: Vec<LoopReport>,
+    /// End-to-end service latency for this request.
+    pub latency_us: u64,
+}
+
+struct Inner {
+    model: Arc<dyn DecisionModel>,
+    space: ActionSpace,
+    cache: ShardedLruCache<(usize, usize)>,
+    batcher: Batcher,
+    metrics: Metrics,
+}
+
+/// A running vectorization service: worker threads + cache + metrics.
+///
+/// Dropping the handle stops the workers. All request methods take `&self`
+/// and are safe to call from many threads at once.
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Starts the worker pool around `model`.
+    pub fn start(model: Arc<dyn DecisionModel>, cfg: ServeConfig) -> Self {
+        let space = ActionSpace::for_target(model.target());
+        let inner = Arc::new(Inner {
+            space,
+            cache: ShardedLruCache::new(cfg.cache_capacity, cfg.cache_shards),
+            batcher: Batcher::new(
+                cfg.batch_size,
+                cfg.queue_capacity,
+                Duration::from_micros(cfg.flush_deadline_us),
+            ),
+            metrics: Metrics::default(),
+            model,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nv-serve-worker-{i}"))
+                    .spawn(move || {
+                        inner
+                            .batcher
+                            .worker_loop(inner.model.as_ref(), &inner.metrics)
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeHandle { inner, workers }
+    }
+
+    /// The action space decisions index into.
+    pub fn space(&self) -> &ActionSpace {
+        &self.inner.space
+    }
+
+    /// Decides one already-extracted sample: cache lookup, then batched
+    /// model fallback. Returns the action pair and whether it was cached.
+    pub fn decide_sample(&self, sample: &PathSample) -> Result<((usize, usize), bool), ServeError> {
+        let key = sample_key(sample);
+        if let Some(pair) = self.inner.cache.get(key) {
+            return Ok((pair, true));
+        }
+        let rx = self.inner.batcher.submit(sample.clone());
+        let pair = recv_decision(&rx)?;
+        self.inner.cache.insert(key, pair);
+        Ok((pair, false))
+    }
+
+    /// The full inference product over a source file: decide `(VF, IF)`
+    /// for every innermost loop and return the source with pragmas
+    /// injected (plus per-loop detail).
+    pub fn vectorize(&self, source: &str) -> Result<VectorizeOutput, ServeError> {
+        let t0 = Instant::now();
+        self.inner
+            .metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.vectorize_inner(source, t0) {
+            Ok(out) => {
+                self.inner
+                    .metrics
+                    .latency
+                    .record(t0.elapsed().as_micros() as u64);
+                Ok(out)
+            }
+            Err(e) => {
+                self.inner
+                    .metrics
+                    .errors
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn vectorize_inner(&self, source: &str, t0: Instant) -> Result<VectorizeOutput, ServeError> {
+        // The same extraction pipeline as `NeuroVectorizer::vectorize_source`
+        // — decisions and cache keys must agree with the direct path.
+        let sites = extract_loop_samples(source, self.inner.model.embed_config())
+            .map_err(|e| ServeError::Frontend(e.to_string()))?;
+        let keyed: Vec<(u64, &LoopSite)> =
+            sites.iter().map(|s| (sample_key(&s.sample), s)).collect();
+        let mut by_key: Vec<(u64, &PathSample)> = Vec::new();
+        for (key, site) in &keyed {
+            if !by_key.iter().any(|(k, _)| k == key) {
+                by_key.push((*key, &site.sample));
+            }
+        }
+
+        // Resolve each distinct key: cache first, then one batched
+        // submission per miss (identical loop shapes in one file embed
+        // once).
+        let mut resolved: Vec<(u64, (usize, usize), bool)> = Vec::new();
+        let mut waiting: Vec<(u64, std::sync::mpsc::Receiver<(usize, usize)>)> = Vec::new();
+        for (key, sample) in &by_key {
+            if let Some(pair) = self.inner.cache.get(*key) {
+                resolved.push((*key, pair, true));
+            } else {
+                waiting.push((*key, self.inner.batcher.submit((*sample).clone())));
+            }
+        }
+        for (key, rx) in waiting {
+            let pair = recv_decision(&rx)?;
+            self.inner.cache.insert(key, pair);
+            resolved.push((key, pair, false));
+        }
+        let decision_of = |key: u64| {
+            resolved
+                .iter()
+                .find(|(k, _, _)| *k == key)
+                .map(|&(_, pair, cached)| (pair, cached))
+                .expect("every pending key was resolved")
+        };
+
+        let mut reports: Vec<LoopReport> = keyed
+            .iter()
+            .map(|(key, site)| {
+                let ((vf_idx, if_idx), cached) = decision_of(*key);
+                let d = self.inner.space.decision_from_pair(vf_idx, if_idx);
+                LoopReport {
+                    function: site.function.clone(),
+                    line: site.header_line,
+                    vf: d.vf,
+                    if_: d.if_,
+                    cached,
+                }
+            })
+            .collect();
+        let pragmas: Vec<(u32, LoopPragma)> = reports
+            .iter()
+            .map(|r| {
+                (
+                    r.line,
+                    LoopPragma {
+                        vectorize_width: r.vf,
+                        interleave_count: r.if_,
+                    },
+                )
+            })
+            .collect();
+        let out = inject_pragmas(source, &pragmas);
+        reports.sort_by_key(|r| r.line);
+        self.inner
+            .metrics
+            .loops_served
+            .fetch_add(reports.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(VectorizeOutput {
+            source: out,
+            loops: reports,
+            latency_us: t0.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Point-in-time service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Point-in-time cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// The full introspection surface as one JSON object.
+    pub fn stats_json(&self) -> Json {
+        let m = self.metrics();
+        let c = self.cache_stats();
+        obj(vec![
+            ("requests", Json::from(m.requests)),
+            ("errors", Json::from(m.errors)),
+            ("loops_served", Json::from(m.loops_served)),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Json::from(c.hits)),
+                    ("misses", Json::from(c.misses)),
+                    ("hit_rate", Json::from(c.hit_rate())),
+                    ("evictions", Json::from(c.evictions)),
+                    ("insertions", Json::from(c.insertions)),
+                    ("entries", Json::from(c.len())),
+                    ("shards", Json::from(c.occupancy.len())),
+                    ("shard_capacity", Json::from(c.shard_capacity)),
+                    (
+                        "occupancy",
+                        Json::Arr(c.occupancy.iter().map(|&o| Json::from(o)).collect()),
+                    ),
+                ]),
+            ),
+            (
+                "batch",
+                obj(vec![
+                    ("batches", Json::from(m.batches)),
+                    ("batched_loops", Json::from(m.batched_loops)),
+                    ("mean_batch", Json::from(m.mean_batch)),
+                ]),
+            ),
+            (
+                "latency",
+                obj(vec![
+                    ("count", Json::from(m.latency_count)),
+                    ("mean_us", Json::from(m.latency_mean_us)),
+                    ("p50_us", Json::from(m.latency_p50_us)),
+                    ("p99_us", Json::from(m.latency_p99_us)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Handles one protocol line; returns the response line and whether
+    /// the daemon should keep running.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let with_id = |id: Option<&str>, mut members: Vec<(&str, Json)>| {
+            if let Some(id) = id {
+                members.insert(0, ("id", Json::from(id)));
+            }
+            obj(members).render()
+        };
+        // Parse the line once; an invalid request may still carry a
+        // correlation id the client needs to pair the error with.
+        let parsed = Json::parse(line)
+            .map_err(|e| (None, format!("invalid JSON: {e}")))
+            .and_then(|v| {
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                Request::from_json(&v).map_err(|e| (id, e))
+            });
+        match parsed {
+            Err((id, e)) => (
+                with_id(
+                    id.as_deref(),
+                    vec![("ok", Json::from(false)), ("error", Json::from(e))],
+                ),
+                true,
+            ),
+            Ok(Request::Stats { id }) => (
+                with_id(
+                    id.as_deref(),
+                    vec![("ok", Json::from(true)), ("stats", self.stats_json())],
+                ),
+                true,
+            ),
+            Ok(Request::Shutdown { id }) => (
+                with_id(
+                    id.as_deref(),
+                    vec![("ok", Json::from(true)), ("shutdown", Json::from(true))],
+                ),
+                false,
+            ),
+            Ok(Request::Vectorize { id, source }) => match self.vectorize(&source) {
+                Ok(out) => (
+                    with_id(
+                        id.as_deref(),
+                        vec![
+                            ("ok", Json::from(true)),
+                            ("source", Json::from(out.source)),
+                            (
+                                "loops",
+                                Json::Arr(out.loops.iter().map(LoopReport::to_json).collect()),
+                            ),
+                            ("latency_us", Json::from(out.latency_us)),
+                        ],
+                    ),
+                    true,
+                ),
+                Err(e) => (
+                    with_id(
+                        id.as_deref(),
+                        vec![
+                            ("ok", Json::from(false)),
+                            ("error", Json::from(e.to_string())),
+                        ],
+                    ),
+                    true,
+                ),
+            },
+        }
+    }
+
+    /// Stops the worker pool (also done on drop).
+    pub fn shutdown(&mut self) {
+        self.inner.batcher.stop();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The daemon loop: one JSON request per input line, one JSON response
+/// per output line, until EOF or a `shutdown` request.
+pub fn run_daemon<R: BufRead, W: Write>(
+    handle: &ServeHandle,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, keep_going) = handle.handle_line(&line);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if !keep_going {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvc_embed::EmbedConfig;
+    use nvc_machine::TargetConfig;
+
+    /// Deterministic model: the decision is a function of the sample.
+    struct Stub {
+        embed: EmbedConfig,
+        target: TargetConfig,
+    }
+
+    impl Stub {
+        fn new() -> Self {
+            Stub {
+                embed: EmbedConfig::fast(),
+                target: TargetConfig::i7_8559u(),
+            }
+        }
+    }
+
+    impl DecisionModel for Stub {
+        fn embed_config(&self) -> &EmbedConfig {
+            &self.embed
+        }
+
+        fn target(&self) -> &TargetConfig {
+            &self.target
+        }
+
+        fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+            let dims = (
+                self.target.vf_candidates().len(),
+                self.target.if_candidates().len(),
+            );
+            samples
+                .iter()
+                .map(|s| {
+                    (
+                        s.len() % dims.0,
+                        s.starts.first().copied().unwrap_or(0) % dims.1,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    fn start(cfg: ServeConfig) -> ServeHandle {
+        ServeHandle::start(Arc::new(Stub::new()), cfg)
+    }
+
+    const SRC: &str = "float a[512]; float b[512]; float M[32][32];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0;
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            M[i][j] = 0.0;
+        }
+    }
+}";
+
+    #[test]
+    fn vectorize_annotates_all_innermost_loops() {
+        let h = start(ServeConfig::default());
+        let out = h.vectorize(SRC).unwrap();
+        assert_eq!(out.loops.len(), 2);
+        assert_eq!(out.source.matches("#pragma clang loop").count(), 2);
+        assert!(out.loops.iter().all(|l| !l.cached), "first request is cold");
+        // Same file again: every loop now comes from the cache.
+        let again = h.vectorize(SRC).unwrap();
+        assert!(again.loops.iter().all(|l| l.cached));
+        assert_eq!(again.source, out.source, "cache must not change decisions");
+        let stats = h.cache_stats();
+        assert!(stats.hits >= 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        let h = start(ServeConfig::default());
+        let err = h.vectorize("void f( {{{").unwrap_err();
+        assert!(matches!(err, ServeError::Frontend(_)));
+        assert_eq!(h.metrics().errors, 1);
+    }
+
+    #[test]
+    fn daemon_speaks_json_lines() {
+        let h = start(ServeConfig::default());
+        let src_json = Json::from(SRC).render();
+        let input = format!(
+            "{{\"op\":\"vectorize\",\"id\":\"r1\",\"source\":{src_json}}}\n\
+             {{\"op\":\"stats\"}}\n\
+             not json\n\
+             {{\"op\":\"shutdown\",\"id\":\"bye\"}}\n\
+             {{\"op\":\"stats\"}}\n"
+        );
+        let mut out = Vec::new();
+        run_daemon(&h, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 4, "daemon must stop at shutdown");
+
+        let r1 = Json::parse(lines[0]).unwrap();
+        assert_eq!(r1.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(r1.get("ok").unwrap().as_bool(), Some(true));
+        assert!(r1
+            .get("source")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("#pragma clang loop"));
+        assert_eq!(r1.get("loops").unwrap().as_array().unwrap().len(), 2);
+
+        let stats = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            stats
+                .get("stats")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+
+        let bad = Json::parse(lines[2]).unwrap();
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+
+        let bye = Json::parse(lines[3]).unwrap();
+        assert_eq!(bye.get("shutdown").unwrap().as_bool(), Some(true));
+        assert_eq!(bye.get("id").unwrap().as_str(), Some("bye"));
+    }
+
+    #[test]
+    fn identical_loop_shapes_dedupe_within_one_request() {
+        // Two alpha-renamed copies of the same loop: one model decision,
+        // one cache entry.
+        let src = "float a[64]; float b[64]; float c[64]; float d[64];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i];
+    }
+    for (int k = 0; k < n; k++) {
+        c[k] = d[k];
+    }
+}";
+        let h = start(ServeConfig::default());
+        let out = h.vectorize(src).unwrap();
+        assert_eq!(out.loops.len(), 2);
+        assert_eq!(h.cache_stats().insertions, 1, "renamed loops share a key");
+        assert_eq!(out.loops[0].vf, out.loops[1].vf);
+        assert_eq!(out.loops[0].if_, out.loops[1].if_);
+    }
+
+    #[test]
+    fn requests_after_shutdown_fail_fast() {
+        let mut h = start(ServeConfig::default());
+        h.shutdown();
+        let t0 = std::time::Instant::now();
+        let err = h.vectorize(SRC).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(1),
+            "post-shutdown requests must not wait out the decision timeout"
+        );
+    }
+
+    #[test]
+    fn error_responses_echo_the_request_id() {
+        let h = start(ServeConfig::default());
+        for bad in [
+            r#"{"op":"vectorize","id":"r7"}"#,
+            r#"{"op":"explode","id":"r7"}"#,
+            r#"{"op":"vectorize","id":"r7","source":"void f( {{{"}"#,
+        ] {
+            let (resp, keep) = h.handle_line(bad);
+            assert!(keep);
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+            assert_eq!(
+                v.get("id").unwrap().as_str(),
+                Some("r7"),
+                "error response dropped the id: {resp}"
+            );
+        }
+        // Unparsable lines genuinely have no id to echo.
+        let (resp, _) = h.handle_line("not json");
+        assert!(Json::parse(&resp).unwrap().get("id").is_none());
+    }
+
+    #[test]
+    fn stats_json_has_the_full_surface() {
+        let h = start(ServeConfig::default());
+        h.vectorize(SRC).unwrap();
+        let s = h.stats_json();
+        for path in [
+            vec!["requests"],
+            vec!["cache", "hits"],
+            vec!["cache", "hit_rate"],
+            vec!["cache", "occupancy"],
+            vec!["batch", "mean_batch"],
+            vec!["latency", "p99_us"],
+        ] {
+            let mut v = &s;
+            for k in path.iter() {
+                v = v
+                    .get(k)
+                    .unwrap_or_else(|| panic!("missing stats key {path:?}"));
+            }
+        }
+    }
+}

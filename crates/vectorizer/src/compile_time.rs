@@ -76,8 +76,7 @@ mod tests {
 
     fn lower(src: &str) -> LoopIr {
         let tu = parse_translation_unit(src).unwrap();
-        lower_innermost_loops(&tu, src, &ParamEnv::new())
-            .unwrap()[0]
+        lower_innermost_loops(&tu, src, &ParamEnv::new()).unwrap()[0]
             .ir
             .clone()
     }
@@ -99,7 +98,9 @@ mod tests {
 
     #[test]
     fn compile_time_grows_with_factors() {
-        let ir = lower("float a[4096]; float b[4096];\nvoid f() { for (int i=0;i<4096;i++) { a[i] = b[i]; } }");
+        let ir = lower(
+            "float a[4096]; float b[4096];\nvoid f() { for (int i=0;i<4096;i++) { a[i] = b[i]; } }",
+        );
         let t = TargetConfig::i7_8559u();
         let small = compile_time_ms(&build_shape(&ir, VectorDecision::new(4, 1), &t), &ir);
         let big = compile_time_ms(&build_shape(&ir, VectorDecision::new(64, 16), &t), &ir);
@@ -113,10 +114,7 @@ mod tests {
         let baseline = compile_time_ms(&build_shape(&ir, VectorDecision::new(4, 2), &t), &ir);
         for vf in t.vf_candidates() {
             for ifc in t.if_candidates() {
-                let ms = compile_time_ms(
-                    &build_shape(&ir, VectorDecision::new(vf, ifc), &t),
-                    &ir,
-                );
+                let ms = compile_time_ms(&build_shape(&ir, VectorDecision::new(vf, ifc), &t), &ir);
                 assert!(
                     !CompileOutcome::from_times(ms, baseline).timed_out(),
                     "dot product timed out at VF={vf} IF={ifc}"

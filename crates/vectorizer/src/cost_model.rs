@@ -271,7 +271,8 @@ mod tests {
 
     #[test]
     fn baseline_respects_dependences() {
-        let src = "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-1; i++) { a[i+1] = a[i]; } }";
+        let src =
+            "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-1; i++) { a[i+1] = a[i]; } }";
         let ir = lower(src, &ParamEnv::new().with("n", 4096));
         assert_eq!(baseline_decision(&ir, &target()), VectorDecision::scalar());
     }

@@ -212,7 +212,8 @@ mod tests {
     #[test]
     fn illegal_request_is_clamped_not_miscompiled() {
         // Serial recurrence: a[i+1] = a[i] — cannot vectorize at all.
-        let src = "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-1; i++) { a[i+1] = a[i]; } }";
+        let src =
+            "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-1; i++) { a[i+1] = a[i]; } }";
         let ir = lower(src, &ParamEnv::new().with("n", 4096));
         let vz = Vectorizer::default();
         let c = vz.compile(&ir, VectorDecision::new(64, 8));

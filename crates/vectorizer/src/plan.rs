@@ -32,13 +32,13 @@ use crate::table;
 /// Mirrors the paper's §3: pragmas are hints; "predicates and memory
 /// dependency can hinder reaching high VF and IF", and infeasible requests
 /// are ignored rather than honored unsafely.
-pub fn clamp_decision(ir: &LoopIr, requested: VectorDecision, target: &TargetConfig) -> VectorDecision {
+pub fn clamp_decision(
+    ir: &LoopIr,
+    requested: VectorDecision,
+    target: &TargetConfig,
+) -> VectorDecision {
     let legal = nvc_ir::legal_max_vf(ir);
-    let vf = requested
-        .vf
-        .min(legal)
-        .min(target.max_vf)
-        .max(1);
+    let vf = requested.vf.min(legal).min(target.max_vf).max(1);
     let if_ = requested.if_.min(target.max_if).max(1);
     VectorDecision::new(vf, if_)
 }
@@ -431,7 +431,8 @@ mod tests {
 
     #[test]
     fn tiny_trip_runs_fully_scalar() {
-        let src = "float a[64]; float b[64];\nvoid f() { for (int i = 0; i < 30; i++) { a[i] = b[i]; } }";
+        let src =
+            "float a[64]; float b[64];\nvoid f() { for (int i = 0; i < 30; i++) { a[i] = b[i]; } }";
         let ir = lower(src, &ParamEnv::new());
         let shape = build_shape(&ir, VectorDecision::new(64, 8), &target());
         assert_eq!(shape.blocks, 0);
@@ -552,7 +553,8 @@ mod tests {
 
     #[test]
     fn clamp_respects_dependences_and_target() {
-        let src = "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-4; i++) { a[i+4] = a[i]; } }";
+        let src =
+            "int a[4096];\nvoid f(int n) { for (int i = 0; i < n-4; i++) { a[i+4] = a[i]; } }";
         let ir = lower(src, &ParamEnv::new().with("n", 4096));
         let t = target();
         assert_eq!(

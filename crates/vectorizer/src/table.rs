@@ -76,9 +76,7 @@ pub fn bin_profile_for(op: BinOpIr, ty: ScalarType, vectorized: bool) -> OpProfi
     if !vectorized && !ty.is_float() {
         match op {
             BinOpIr::Mul => return OpProfile::new(ResourceClass::VMul, 3.0, 1.0),
-            BinOpIr::Div | BinOpIr::Rem => {
-                return OpProfile::new(ResourceClass::VDiv, 26.0, 1.0)
-            }
+            BinOpIr::Div | BinOpIr::Rem => return OpProfile::new(ResourceClass::VDiv, 26.0, 1.0),
             _ => {}
         }
     }

@@ -43,8 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lowered = lower_innermost_loops(&tu, SRC, &ParamEnv::new())?;
     let ir = &lowered[0].ir;
     println!("\n=== loop IR ===");
-    println!("induction: {} (trip {:?}, step {})", ir.ind_var, ir.trip, ir.step);
-    println!("body: {} instructions, {} memory access sites", ir.body.len(), ir.accesses.len());
+    println!(
+        "induction: {} (trip {:?}, step {})",
+        ir.ind_var, ir.trip, ir.step
+    );
+    println!(
+        "body: {} instructions, {} memory access sites",
+        ir.body.len(),
+        ir.accesses.len()
+    );
     for (i, a) in ir.accesses.iter().enumerate() {
         println!(
             "  access {i}: {}[{:?} + {}] {} ({}aligned)",

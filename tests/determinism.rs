@@ -18,13 +18,7 @@ fn generator_streams_are_reproducible() {
 #[test]
 fn environment_rewards_are_reproducible() {
     let cfg = NvConfig::fast();
-    let build = || {
-        VectorizeEnv::new(
-            generator::generate(9, 12),
-            cfg.target.clone(),
-            &cfg.embed,
-        )
-    };
+    let build = || VectorizeEnv::new(generator::generate(9, 12), cfg.target.clone(), &cfg.embed);
     let a = build();
     let b = build();
     assert_eq!(a.contexts().len(), b.contexts().len());
@@ -39,11 +33,7 @@ fn environment_rewards_are_reproducible() {
 fn training_is_reproducible_per_seed() {
     let run = |seed: u64| {
         let cfg = NvConfig::fast().with_seed(seed);
-        let mut env = VectorizeEnv::new(
-            generator::generate(3, 12),
-            cfg.target.clone(),
-            &cfg.embed,
-        );
+        let mut env = VectorizeEnv::new(generator::generate(3, 12), cfg.target.clone(), &cfg.embed);
         let mut nv = NeuroVectorizer::new(cfg);
         let stats = nv.train(&mut env, 3);
         stats
@@ -65,11 +55,7 @@ fn figure_data_is_reproducible() {
 #[test]
 fn inference_is_pure() {
     let cfg = NvConfig::fast().with_seed(33);
-    let env = VectorizeEnv::new(
-        generator::generate(8, 8),
-        cfg.target.clone(),
-        &cfg.embed,
-    );
+    let env = VectorizeEnv::new(generator::generate(8, 8), cfg.target.clone(), &cfg.embed);
     let nv = NeuroVectorizer::new(cfg);
     let space = env.space();
     for ctx in env.contexts() {

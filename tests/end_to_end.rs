@@ -36,7 +36,7 @@ fn trained_agent_beats_baseline_on_training_pool() {
 /// injected hints are what the compiler actually honors (modulo legality
 /// clamping).
 #[test]
-fn injected_pragmas_drive_the_compiler()  {
+fn injected_pragmas_drive_the_compiler() {
     let nv = NeuroVectorizer::new(NvConfig::fast());
     let src = "float xs[4096]; float ys[4096];
 void f(int n) {
@@ -55,7 +55,12 @@ void f(int n) {
     // Compiling with that explicit pragma equals compiling the annotated
     // source through the decision callback.
     let compiler = Compiler::default();
-    let k_plain = Kernel::new("k", "t", strip_pragmas(&annotated), ParamEnv::new().with("n", 4096));
+    let k_plain = Kernel::new(
+        "k",
+        "t",
+        strip_pragmas(&annotated),
+        ParamEnv::new().with("n", 4096),
+    );
     let via_callback = compiler
         .run_with(&k_plain, |_| {
             LoopDecision::Pragma(VectorDecision::new(
@@ -81,7 +86,11 @@ fn compiler_is_total_over_the_generator() {
             let t = compiler
                 .run_baseline(&k)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
-            assert!(t.total_cycles.is_finite() && t.total_cycles > 0.0, "{}", k.name);
+            assert!(
+                t.total_cycles.is_finite() && t.total_cycles > 0.0,
+                "{}",
+                k.name
+            );
             let s = compiler.run_scalar(&k).expect("scalar compiles");
             assert!(
                 s.total_cycles >= t.total_cycles * 0.3,
@@ -97,11 +106,7 @@ fn compiler_is_total_over_the_generator() {
 #[test]
 fn reward_semantics_hold_across_the_pool() {
     let cfg = NvConfig::fast();
-    let mut env = VectorizeEnv::new(
-        generator::generate(5, 24),
-        cfg.target.clone(),
-        &cfg.embed,
-    );
+    let mut env = VectorizeEnv::new(generator::generate(5, 24), cfg.target.clone(), &cfg.embed);
     let dims = env.action_dims();
     for i in 0..env.contexts().len() {
         let mut best = f64::NEG_INFINITY;

@@ -87,8 +87,13 @@ fn loopless_programs_produce_no_contexts() {
     assert_eq!(env.contexts().len(), 0);
     // And the compiler still times the program (scalar work + overhead).
     let compiler = Compiler::default();
-    let k2 = Kernel::new("s", "t", "int x;\nvoid f(int n) { x = n; }", ParamEnv::new())
-        .with_scalar_work(1000);
+    let k2 = Kernel::new(
+        "s",
+        "t",
+        "int x;\nvoid f(int n) { x = n; }",
+        ParamEnv::new(),
+    )
+    .with_scalar_work(1000);
     let t = compiler.run_baseline(&k2).expect("compiles");
     assert!(t.loops.is_empty());
     assert!(t.total_cycles >= 500.0);
@@ -146,9 +151,7 @@ fn huge_requested_factors_never_escape_clamping() {
     );
     let t = compiler
         .run_with(&k, |_| {
-            neurovectorizer::LoopDecision::Pragma(nvc_vectorizer::VectorDecision::new(
-                4096, 4096,
-            ))
+            neurovectorizer::LoopDecision::Pragma(nvc_vectorizer::VectorDecision::new(4096, 4096))
         })
         .expect("compiles");
     assert!(t.loops[0].decision.vf <= 64);

@@ -58,7 +58,10 @@ fn claim_figure2_headroom() {
         .iter()
         .filter(|e| e.best_over_baseline > 1.05)
         .count();
-    assert!(over_1_05 >= 4, "paper shows widespread headroom; got {over_1_05} tests > 1.05x");
+    assert!(
+        over_1_05 >= 4,
+        "paper shows widespread headroom; got {over_1_05} tests > 1.05x"
+    );
 }
 
 /// §4 + Figures 7–9, at smoke training scale: the *ordering* of methods
@@ -83,7 +86,10 @@ fn claim_method_ordering() {
     }
     // RL beats the baseline and random search (paper: 2.67x vs <1x).
     assert!(avg("rl") > 1.0, "rl = {:.3}", avg("rl"));
-    assert!(avg("rl") > avg("random") - 0.15, "rl should not lose to random");
+    assert!(
+        avg("rl") > avg("random") - 0.15,
+        "rl should not lose to random"
+    );
     // RL is within a modest gap of brute force (paper: 3%; smoke-scale
     // training gets within 15%).
     assert!(
@@ -96,7 +102,11 @@ fn claim_method_ordering() {
     // Figure 8: Polly dominates on PolyBench overall; the combination is
     // at least as good as Polly alone (paper: 2.92x > 2.08x baselines).
     let f8 = fig8_polybench(&nv);
-    assert!(f8.average("polly") > 1.3, "polly = {:.3}", f8.average("polly"));
+    assert!(
+        f8.average("polly") > 1.3,
+        "polly = {:.3}",
+        f8.average("polly")
+    );
     // At smoke training scale the policy is noisy on out-of-distribution
     // tiled loops, so allow modest slack; the bench-scale harness shows
     // the combination matching or beating Polly (EXPERIMENTS.md).
@@ -110,7 +120,10 @@ fn claim_method_ordering() {
     // (the paper's RL wins three of six).
     let polly_idx = f8.methods.iter().position(|m| m == "polly").unwrap();
     let wins = f8.speedups[polly_idx].iter().filter(|&&s| s > 1.2).count();
-    let non_wins = f8.speedups[polly_idx].iter().filter(|&&s| s <= 1.05).count();
+    let non_wins = f8.speedups[polly_idx]
+        .iter()
+        .filter(|&&s| s <= 1.05)
+        .count();
     assert!(wins >= 2, "polly should win big matrix kernels");
     assert!(non_wins >= 2, "polly should not win everywhere");
 
@@ -131,8 +144,8 @@ fn claim_method_ordering() {
 /// §3.4: the compile-time timeout penalty is reachable and bounded.
 #[test]
 fn claim_timeout_penalty() {
-    use neurovectorizer::VectorizeEnv;
     use neurovectorizer::NvConfig;
+    use neurovectorizer::VectorizeEnv;
 
     // A deliberately fat loop body at an extreme factor must trip the 10×
     // compile budget and earn exactly −9.
@@ -142,9 +155,12 @@ fn claim_timeout_penalty() {
         decls.push_str(&format!(
             "float fa{k}[4096]; float fb{k}[4096]; float fc{k}[4096];\n"
         ));
-        body.push_str(&format!("        fa{k}[i] = fb{k}[i] * fc{k}[i] + fa{k}[i];\n"));
+        body.push_str(&format!(
+            "        fa{k}[i] = fb{k}[i] * fc{k}[i] + fa{k}[i];\n"
+        ));
     }
-    let src = format!("{decls}void fat(int n) {{\n    for (int i = 0; i < n; i++) {{\n{body}    }}\n}}");
+    let src =
+        format!("{decls}void fat(int n) {{\n    for (int i = 0; i < n; i++) {{\n{body}    }}\n}}");
     let k = nvc_datasets::Kernel::new("fat", "t", src, nvc_ir::ParamEnv::new().with("n", 4096));
     let cfg = NvConfig::fast();
     let env = VectorizeEnv::new(vec![k], cfg.target.clone(), &cfg.embed);

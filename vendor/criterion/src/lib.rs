@@ -1,0 +1,142 @@
+//! Offline micro-bench harness exposing the criterion surface the
+//! workspace's `benches/` use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`], and [`criterion_main!`].
+//!
+//! Timing is a simple warmup + fixed-duration measurement loop printing
+//! mean ns/iter; no statistics, plots, or baselines. Benches run as plain
+//! binaries (`harness = false` is not required because this crate's
+//! macros generate `main`).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so code written against criterion's `black_box` keeps
+/// working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Target duration of each measured phase.
+    measure: Duration,
+    /// Target duration of each warmup phase.
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility knob: criterion's sample count maps onto this
+    /// harness's measurement duration (samples × ~10 ms each).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measure = Duration::from_millis(10 * n.max(1) as u64);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench {name:<48} {per_iter:>14.1} ns/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for a fixed duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            std_black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            std_black_box(f());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions as one runnable entry point.
+/// Supports both the positional form (`criterion_group!(name, f1, f2)`)
+/// and the named-config form
+/// (`criterion_group!(name = g; config = ...; targets = f1, f2)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

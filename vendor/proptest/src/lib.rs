@@ -1,0 +1,195 @@
+//! Offline property-test harness with a proptest-compatible macro
+//! surface: `proptest! { #![proptest_config(..)] #[test] fn f(x in 0..9) { .. } }`,
+//! `prop_assert!`, and `prop_assert_eq!`.
+//!
+//! Strategies are integer ranges (half-open and inclusive), sampled with a
+//! deterministic SplitMix64 stream seeded from the test name — every run
+//! explores the same cases. There is no shrinking: a failing case prints
+//! its inputs and re-raises the panic.
+
+/// Number of cases when no `proptest_config` is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from the property name so each property gets its own stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator: integer ranges implement this.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one case.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+/// Property assertion (plain `assert!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` sampled cases; a failing case
+/// prints its inputs before propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident (
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = { $cfg }.cases;
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            concat!(
+                                "proptest ", stringify!($name),
+                                ": case {} of {} failed with inputs:"
+                            ),
+                            __case + 1, cases
+                        );
+                        $( eprintln!("  {} = {:?}", stringify!($arg), $arg); )*
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in 1usize..=7, c in -4i32..4) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=7).contains(&b));
+            prop_assert!((-4..4).contains(&c));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn samples_cover_domain() {
+        let mut rng = TestRng::for_test("cover");
+        let mut seen = [false; 5];
+        for _ in 0..300 {
+            seen[Strategy::sample(&(0usize..5), &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,72 @@
+//! Slice sampling: `choose` and `shuffle`.
+
+use crate::RngCore;
+
+/// Random operations on slices (the subset of rand's `SliceRandom` the
+/// workspace uses).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    struct Sm(SplitMix64);
+
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = Sm(SplitMix64(3));
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Sm(SplitMix64(9));
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements should not shuffle to identity");
+    }
+}

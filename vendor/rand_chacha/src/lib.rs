@@ -1,0 +1,144 @@
+//! A real ChaCha8 keystream generator behind the vendored [`rand`] traits.
+//!
+//! This implements the standard ChaCha quarter-round/block function with 8
+//! rounds (RFC 8439 structure, reduced round count), keyed from a 32-byte
+//! seed. Output streams are *not* bit-compatible with crates.io
+//! `rand_chacha` (seed expansion and word-emission order differ), which is
+//! acceptable: the workspace only relies on in-process determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha with 8 rounds, 64-bit block counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Initial state: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next word to emit from `buf`; 16 forces a refill.
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // One double round: column round + diagonal round.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, init) in w.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buf = w;
+        self.idx = 0;
+        // 64-bit counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        // Bit balance on the raw stream.
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / 64_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "bit frac={frac}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The repository only uses serde as derive annotations on config and
+//! stats types; no code path serializes through it (checkpoints go through
+//! `nvc-nn::serialize`, the serve protocol through `nvc-serve::json`).
+//! This vendored crate provides the trait names and re-exports the no-op
+//! derive macros so `#[derive(Serialize, Deserialize)]` keeps compiling
+//! without network access to crates.io.
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

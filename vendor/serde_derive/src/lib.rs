@@ -1,0 +1,21 @@
+//! No-op stand-ins for `serde_derive`'s macros.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the narrow slice of the serde surface it actually uses. Nothing in this
+//! repository serializes through serde at runtime (checkpoints use
+//! `nvc-nn::serialize`, the serving protocol uses `nvc-serve::json`), so
+//! the derives only need to *parse* — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
