@@ -1,0 +1,154 @@
+//! Extension experiment: batched rollout collection throughput.
+//!
+//! NeuroVectorizer's training time is dominated by the embedding + policy
+//! forward pass over loop observations, and the seed implementation paid
+//! that cost per rollout sample: `PpoTrainer::collect` built a fresh
+//! autodiff graph and ran a single-row forward for every one of the
+//! `train_batch` episodes. The batched path embeds every *distinct*
+//! context once, stacks the whole batch into one policy forward, and
+//! samples actions row by row — with RNG consumption ordered so the
+//! transitions are **bitwise-identical** to the per-sample path.
+//!
+//! This bench drives both paths with the paper-sized model (340-dim code
+//! vectors, 64×64 policy) over a loop pool extracted from generated
+//! kernels and reports rollouts/sec. Acceptance: batched ≥ 3× the
+//! per-sample baseline at `train_batch = 64`, and the parity invariant
+//! must hold. Results land in `BENCH_train.json`.
+//!
+//! ```text
+//! cargo run --release -p nv-bench --bin ext_train_throughput
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nvc_datasets::generator;
+use nvc_embed::{extract_loop_samples, EmbedConfig, PathSample};
+use nvc_rl::{ActionDims, BanditEnv, PpoConfig, PpoTrainer};
+use nvc_serve::json::obj;
+use nvc_serve::Json;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const ACCEPTANCE_RATIO: f64 = 3.0;
+const TRAIN_BATCH: usize = 64;
+const POOL_SIZE: usize = 12;
+const REPS: usize = 5;
+
+/// A fixed loop pool with a cheap deterministic reward: the bench
+/// measures collection cost, so the environment must be ~free.
+struct PoolEnv {
+    contexts: Vec<PathSample>,
+}
+
+impl BanditEnv for PoolEnv {
+    fn num_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    fn context(&self, idx: usize) -> &PathSample {
+        &self.contexts[idx]
+    }
+
+    fn action_dims(&self) -> ActionDims {
+        ActionDims { n_vf: 7, n_if: 5 }
+    }
+
+    fn reward(&mut self, idx: usize, action: (usize, usize)) -> f64 {
+        (idx as f64 * 0.31 + action.0 as f64 * 0.07 - action.1 as f64 * 0.05).sin()
+    }
+}
+
+fn build_env() -> PoolEnv {
+    let cfg = EmbedConfig::paper();
+    let mut contexts = Vec::new();
+    for kernel in generator::generate(11, 16) {
+        for site in extract_loop_samples(&kernel.source, &cfg).expect("generated kernels parse") {
+            if !site.sample.is_empty() {
+                contexts.push(site.sample);
+            }
+        }
+        if contexts.len() >= POOL_SIZE {
+            break;
+        }
+    }
+    contexts.truncate(POOL_SIZE);
+    assert!(!contexts.is_empty(), "loop pool must not be empty");
+    PoolEnv { contexts }
+}
+
+fn main() -> ExitCode {
+    let mut env = build_env();
+    let cfg = PpoConfig {
+        train_batch: TRAIN_BATCH,
+        ..PpoConfig::default()
+    };
+    let mut trainer = PpoTrainer::new(&cfg, &EmbedConfig::paper(), 3);
+    println!(
+        "== ext: train throughput (batch={TRAIN_BATCH}, pool={} loops, paper-size model) ==\n",
+        env.contexts.len()
+    );
+
+    // Parity first (also warms both paths and the arena): identical RNG
+    // seeds must give identical transitions.
+    let reference = trainer.collect_reference(&mut env, &mut ChaCha8Rng::seed_from_u64(5));
+    let batched = trainer.collect(&mut env, &mut ChaCha8Rng::seed_from_u64(5));
+    let parity = reference == batched;
+    println!(
+        "parity (bitwise-identical transitions): {}",
+        if parity { "ok" } else { "MISMATCH" }
+    );
+
+    let per_sample_rps = {
+        let t0 = Instant::now();
+        for rep in 0..REPS {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + rep as u64);
+            trainer.collect_reference(&mut env, &mut rng);
+        }
+        (REPS * TRAIN_BATCH) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let batched_rps = {
+        let t0 = Instant::now();
+        for rep in 0..REPS {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + rep as u64);
+            trainer.collect(&mut env, &mut rng);
+        }
+        (REPS * TRAIN_BATCH) as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    println!("{:<34} {:>16}", "path", "rollouts/s");
+    println!(
+        "{:<34} {:>16.1}",
+        "per-sample (seed baseline)", per_sample_rps
+    );
+    println!("{:<34} {:>16.1}", "batched collect", batched_rps);
+
+    let ratio = batched_rps / per_sample_rps;
+    let pass = parity && ratio >= ACCEPTANCE_RATIO;
+    println!("\nbatched/per-sample speedup: {ratio:.1}x (acceptance: >= {ACCEPTANCE_RATIO:.0}x)");
+
+    let report = obj(vec![
+        ("bench", Json::from("ext_train_throughput")),
+        ("train_batch", Json::from(TRAIN_BATCH)),
+        ("pool_loops", Json::from(env.contexts.len())),
+        ("reps", Json::from(REPS)),
+        ("per_sample_rollouts_per_sec", Json::from(per_sample_rps)),
+        ("batched_rollouts_per_sec", Json::from(batched_rps)),
+        ("speedup", Json::from(ratio)),
+        ("acceptance_ratio", Json::from(ACCEPTANCE_RATIO)),
+        ("parity", Json::from(parity)),
+        ("pass", Json::from(pass)),
+    ]);
+    match std::fs::write("BENCH_train.json", report.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_train.json"),
+        Err(e) => eprintln!("could not write BENCH_train.json: {e}"),
+    }
+
+    if pass {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -116,18 +116,24 @@ impl CodeEmbedder {
     /// Encodes one loop sample into a `1×code_dim` vector node.
     ///
     /// Empty samples (loops with fewer than two leaves) embed to zero.
+    ///
+    /// The embedding tables are never cloned onto the tape: the per-path
+    /// rows are gathered straight from the parameter store
+    /// ([`Graph::gather_param_rows`]), which removes the multi-megabyte
+    /// table copy each sample's graph used to start with. Gradients still
+    /// scatter-add into the tables as before. The small dense parameters
+    /// (`W`, attention) are memoized per graph, so a batched forward
+    /// reads them once, not once per sample.
     pub fn forward(&self, g: &mut Graph<'_>, sample: &PathSample) -> NodeId {
         if sample.is_empty() {
             return g.input(Tensor::zeros(1, self.cfg.code_dim));
         }
-        let tokens = g.param(self.token_table);
-        let paths = g.param(self.path_table);
         let w = g.param(self.w_context);
         let attn = g.param(self.attention);
 
-        let starts = g.gather_rows(tokens, &sample.starts); // n × dt
-        let mids = g.gather_rows(paths, &sample.paths); // n × dp
-        let ends = g.gather_rows(tokens, &sample.ends); // n × dt
+        let starts = g.gather_param_rows(self.token_table, &sample.starts); // n × dt
+        let mids = g.gather_param_rows(self.path_table, &sample.paths); // n × dp
+        let ends = g.gather_param_rows(self.token_table, &sample.ends); // n × dt
         let ctx = g.concat_cols(&[starts, mids, ends]); // n × (2dt+dp)
         let proj = g.matmul(ctx, w); // n × code
         let c = g.tanh(proj);
@@ -140,8 +146,8 @@ impl CodeEmbedder {
 
     /// Encodes a batch of samples into one `n × code_dim` node (row `i`
     /// is exactly [`CodeEmbedder::forward`] of `samples[i]`). Batched
-    /// consumers (PPO minibatches, the serving layer) stack here and run
-    /// downstream networks once over all rows.
+    /// consumers (PPO rollout collection and minibatches, the serving
+    /// layer) stack here and run downstream networks once over all rows.
     pub fn forward_batch(&self, g: &mut Graph<'_>, samples: &[&PathSample]) -> NodeId {
         assert!(
             !samples.is_empty(),

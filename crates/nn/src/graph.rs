@@ -6,11 +6,22 @@
 //! [`ParamStore`](crate::ParamStore) via
 //! [`ParamStore::accumulate_grads`](crate::ParamStore::accumulate_grads).
 //!
+//! The tape is allocation-lean: a graph built with
+//! [`Graph::with_arena`] draws every output tensor from a shared
+//! [`TensorArena`] and returns them all on drop, so steady-state training
+//! loops reuse the same buffers tape after tape. Parameter reads are
+//! memoized ([`Graph::param`] pushes each `ParamId` once), embedding
+//! lookups can gather straight from the store without materializing the
+//! table ([`Graph::gather_param_rows`]), and the fused
+//! [`Graph::linear`] runs matmul + bias broadcast as one node with one
+//! output allocation.
+//!
 //! Every operation's gradient is validated against central finite
 //! differences in this module's tests.
 
 use std::collections::HashMap;
 
+use crate::arena::TensorArena;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -23,7 +34,11 @@ pub struct NodeId(usize);
 enum Op {
     Input,
     Param(ParamId),
+    /// Rows of a parameter table gathered without materializing the table.
+    GatherParamRows(ParamId, Vec<usize>),
     MatMul(NodeId, NodeId),
+    /// Fused `x·W + b` (bias row-broadcast), one node and one output.
+    Linear(NodeId, NodeId, NodeId),
     AddRowBroadcast(NodeId, NodeId),
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
@@ -52,9 +67,11 @@ enum Op {
 #[derive(Debug)]
 pub struct Graph<'s> {
     store: &'s ParamStore,
+    arena: Option<&'s TensorArena>,
     ops: Vec<Op>,
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
+    param_nodes: HashMap<ParamId, NodeId>,
     ran_backward: bool,
 }
 
@@ -63,11 +80,37 @@ impl<'s> Graph<'s> {
     pub fn new(store: &'s ParamStore) -> Self {
         Graph {
             store,
+            arena: None,
             ops: Vec::new(),
             values: Vec::new(),
             grads: Vec::new(),
+            param_nodes: HashMap::new(),
             ran_backward: false,
         }
+    }
+
+    /// Like [`Graph::new`], but every tensor the tape allocates comes
+    /// from (and on drop returns to) `arena`.
+    pub fn with_arena(store: &'s ParamStore, arena: &'s TensorArena) -> Self {
+        let mut g = Graph::new(store);
+        g.arena = Some(arena);
+        g
+    }
+
+    /// A zeroed `rows × cols` tensor from the arena (or the allocator
+    /// when the graph has none).
+    fn alloc(&self, rows: usize, cols: usize) -> Tensor {
+        match self.arena {
+            Some(a) => a.alloc(rows, cols),
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// An arena-backed copy of `t`.
+    fn dup(&self, t: &Tensor) -> Tensor {
+        let mut out = self.alloc(t.rows(), t.cols());
+        out.data_mut().copy_from_slice(t.data());
+        out
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> NodeId {
@@ -95,9 +138,18 @@ impl<'s> Graph<'s> {
     }
 
     /// A parameter leaf; its gradient is exported to the store.
+    ///
+    /// Repeated calls with the same `ParamId` return the same node — the
+    /// parameter value is cloned into the tape once per graph, not once
+    /// per use (gradient accumulation over shared uses is unaffected).
     pub fn param(&mut self, p: ParamId) -> NodeId {
-        let value = self.store.get(p).clone();
-        self.push(Op::Param(p), value)
+        if let Some(&n) = self.param_nodes.get(&p) {
+            return n;
+        }
+        let value = self.dup(self.store.get(p));
+        let n = self.push(Op::Param(p), value);
+        self.param_nodes.insert(p, n);
+        n
     }
 
     // ---- operations ----------------------------------------------------
@@ -108,8 +160,39 @@ impl<'s> Graph<'s> {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.values[a.0].matmul(&self.values[b.0]);
-        self.push(Op::MatMul(a, b), v)
+        let rows = self.values[a.0].rows();
+        let cols = self.values[b.0].cols();
+        let mut out = self.alloc(rows, cols);
+        self.values[a.0].matmul_accum_into(&self.values[b.0], &mut out);
+        self.push(Op::MatMul(a, b), out)
+    }
+
+    /// Fused affine map `x·W + b` where `b` is a `1×d` bias row added to
+    /// every output row: one tape node, one output allocation, and
+    /// results bitwise-identical to `matmul` followed by
+    /// [`Graph::add_row_broadcast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or when `b` is not `1 × W.cols()`.
+    pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let rows = self.values[x.0].rows();
+        let cols = self.values[w.0].cols();
+        {
+            let bv = &self.values[b.0];
+            assert_eq!(bv.rows(), 1, "bias must be a row vector");
+            assert_eq!(bv.cols(), cols, "bias width mismatch");
+        }
+        let mut out = self.alloc(rows, cols);
+        self.values[x.0].matmul_accum_into(&self.values[w.0], &mut out);
+        let bias = self.values[b.0].data();
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            for (o, &bb) in row.iter_mut().zip(bias.iter()) {
+                *o += bb;
+            }
+        }
+        self.push(Op::Linear(x, w, b), out)
     }
 
     /// Adds a `1×d` bias row to every row of an `n×d` tensor.
@@ -121,97 +204,129 @@ impl<'s> Graph<'s> {
         let (av, bv) = (&self.values[a.0], &self.values[bias.0]);
         assert_eq!(bv.rows(), 1, "bias must be a row vector");
         assert_eq!(av.cols(), bv.cols(), "bias width mismatch");
-        let mut out = av.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                out[(r, c)] += bv[(0, c)];
+        let (rows, cols) = av.shape();
+        let mut out = self.dup(av);
+        let bias_row = self.values[bias.0].data();
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            for (o, &bb) in row.iter_mut().zip(bias_row.iter()) {
+                *o += bb;
             }
         }
         self.push(Op::AddRowBroadcast(a, bias), out)
     }
 
+    /// Arena-backed elementwise unary output.
+    fn unary_value(&self, a: NodeId, f: impl Fn(f32) -> f32) -> Tensor {
+        let av = &self.values[a.0];
+        let mut out = self.alloc(av.rows(), av.cols());
+        for (o, &x) in out.data_mut().iter_mut().zip(av.data().iter()) {
+            *o = f(x);
+        }
+        out
+    }
+
+    /// Arena-backed elementwise binary output.
+    fn binary_value(&self, a: NodeId, b: NodeId, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let (av, bv) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(av.shape(), bv.shape(), "elementwise shape mismatch");
+        let mut out = self.alloc(av.rows(), av.cols());
+        for ((o, &x), &y) in out
+            .data_mut()
+            .iter_mut()
+            .zip(av.data().iter())
+            .zip(bv.data().iter())
+        {
+            *o = f(x, y);
+        }
+        out
+    }
+
     /// Elementwise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x + y);
+        let v = self.binary_value(a, b, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x - y);
+        let v = self.binary_value(a, b, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise product.
     pub fn mul_elem(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x * y);
+        let v = self.binary_value(a, b, |x, y| x * y);
         self.push(Op::MulElem(a, b), v)
     }
 
     /// Elementwise minimum (PPO's clipped-surrogate uses this).
     pub fn minimum(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.values[a.0].zip(&self.values[b.0], f32::min);
+        let v = self.binary_value(a, b, f32::min);
         self.push(Op::Minimum(a, b), v)
     }
 
     /// Multiplies by a constant.
     pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
-        let v = self.values[a.0].map(|x| x * c);
+        let v = self.unary_value(a, |x| x * c);
         self.push(Op::Scale(a, c), v)
     }
 
     /// Adds a constant.
     pub fn add_scalar(&mut self, a: NodeId, c: f32) -> NodeId {
-        let v = self.values[a.0].map(|x| x + c);
+        let v = self.unary_value(a, |x| x + c);
         self.push(Op::AddScalar(a, c), v)
     }
 
     /// Clamps to `[lo, hi]` (zero gradient outside).
     pub fn clamp(&mut self, a: NodeId, lo: f32, hi: f32) -> NodeId {
-        let v = self.values[a.0].map(|x| x.clamp(lo, hi));
+        let v = self.unary_value(a, |x| x.clamp(lo, hi));
         self.push(Op::Clamp(a, lo, hi), v)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.values[a.0].map(f32::tanh);
+        let v = self.unary_value(a, f32::tanh);
         self.push(Op::Tanh(a), v)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let v = self.values[a.0].map(|x| x.max(0.0));
+        let v = self.unary_value(a, |x| x.max(0.0));
         self.push(Op::Relu(a), v)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
-        let v = self.values[a.0].map(f32::exp);
+        let v = self.unary_value(a, f32::exp);
         self.push(Op::Exp(a), v)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: NodeId) -> NodeId {
-        let v = self.values[a.0].map(f32::ln);
+        let v = self.unary_value(a, f32::ln);
         self.push(Op::Ln(a), v)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let v = softmax_rows(&self.values[a.0]);
-        self.push(Op::SoftmaxRows(a), v)
+        let av = &self.values[a.0];
+        let mut out = self.dup(av);
+        softmax_rows_inplace(&mut out);
+        self.push(Op::SoftmaxRows(a), out)
     }
 
     /// Row-wise log-softmax (numerically stable).
     pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
         let av = &self.values[a.0];
-        let mut out = av.clone();
-        for r in 0..av.rows() {
-            let row = av.row(r);
+        let (rows, cols) = av.shape();
+        let mut out = self.dup(av);
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            for c in 0..av.cols() {
-                out[(r, c)] = av[(r, c)] - lse;
+            for x in row.iter_mut() {
+                *x -= lse;
             }
         }
         self.push(Op::LogSoftmaxRows(a), out)
@@ -219,8 +334,15 @@ impl<'s> Graph<'s> {
 
     /// Transposed copy.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.values[a.0].transposed();
-        self.push(Op::Transpose(a), v)
+        let av = &self.values[a.0];
+        let (rows, cols) = av.shape();
+        let mut out = self.alloc(cols, rows);
+        for i in 0..rows {
+            for j in 0..cols {
+                out.data_mut()[j * rows + i] = av.data()[i * cols + j];
+            }
+        }
+        self.push(Op::Transpose(a), out)
     }
 
     /// Selects rows of `table` by index (embedding lookup). Gradients
@@ -230,13 +352,26 @@ impl<'s> Graph<'s> {
     ///
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
-        let t = &self.values[table.0];
-        let mut out = Tensor::zeros(indices.len(), t.cols());
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < t.rows(), "gather index out of bounds");
-            out.data_mut()[i * t.cols()..(i + 1) * t.cols()].copy_from_slice(t.row(idx));
-        }
+        let cols = self.values[table.0].cols();
+        let mut out = self.alloc(indices.len(), cols);
+        gather_into(&self.values[table.0], indices, &mut out);
         self.push(Op::GatherRows(table, indices.to_vec()), out)
+    }
+
+    /// Selects rows of parameter `p` by index, reading straight from the
+    /// store — the table itself is never cloned onto the tape (a full
+    /// copy of an embedding table per graph is the single largest
+    /// allocation the encoder used to make). Gradients scatter-add into
+    /// the parameter exactly as `param` + `gather_rows` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_param_rows(&mut self, p: ParamId, indices: &[usize]) -> NodeId {
+        let table = self.store.get(p);
+        let mut out = self.alloc(indices.len(), table.cols());
+        gather_into(table, indices, &mut out);
+        self.push(Op::GatherParamRows(p, indices.to_vec()), out)
     }
 
     /// Concatenates tensors with equal row counts along columns.
@@ -248,17 +383,17 @@ impl<'s> Graph<'s> {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let rows = self.values[parts[0].0].rows();
         let total: usize = parts.iter().map(|p| self.values[p.0].cols()).sum();
-        let mut out = Tensor::zeros(rows, total);
+        let mut out = self.alloc(rows, total);
         let mut col = 0;
         for p in parts {
             let v = &self.values[p.0];
             assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+            let w = v.cols();
             for r in 0..rows {
-                for c in 0..v.cols() {
-                    out[(r, col + c)] = v[(r, c)];
-                }
+                out.data_mut()[r * total + col..r * total + col + w]
+                    .copy_from_slice(&v.data()[r * w..(r + 1) * w]);
             }
-            col += v.cols();
+            col += w;
         }
         self.push(Op::ConcatCols(parts.to_vec()), out)
     }
@@ -272,16 +407,13 @@ impl<'s> Graph<'s> {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = self.values[parts[0].0].cols();
         let total: usize = parts.iter().map(|p| self.values[p.0].rows()).sum();
-        let mut out = Tensor::zeros(total, cols);
+        let mut out = self.alloc(total, cols);
         let mut row = 0;
         for p in parts {
             let v = &self.values[p.0];
             assert_eq!(v.cols(), cols, "concat_rows col mismatch");
-            for r in 0..v.rows() {
-                for c in 0..cols {
-                    out[(row + r, c)] = v[(r, c)];
-                }
-            }
+            let n = v.len();
+            out.data_mut()[row * cols..row * cols + n].copy_from_slice(v.data());
             row += v.rows();
         }
         self.push(Op::ConcatRows(parts.to_vec()), out)
@@ -297,24 +429,27 @@ impl<'s> Graph<'s> {
     pub fn pick_per_row(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
         let v = &self.values[a.0];
         assert_eq!(v.rows(), indices.len(), "one index per row required");
-        let mut out = Tensor::zeros(v.rows(), 1);
+        let mut out = self.alloc(v.rows(), 1);
         for (r, &c) in indices.iter().enumerate() {
             assert!(c < v.cols(), "pick index out of bounds");
-            out[(r, 0)] = v[(r, c)];
+            out.data_mut()[r] = v[(r, c)];
         }
         self.push(Op::PickPerRow(a, indices.to_vec()), out)
     }
 
     /// Sum of all elements, as `1×1`.
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.values[a.0].sum());
+        let mut v = self.alloc(1, 1);
+        v.data_mut()[0] = self.values[a.0].sum();
         self.push(Op::SumAll(a), v)
     }
 
     /// Mean of all elements, as `1×1`.
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
         let t = &self.values[a.0];
-        let v = Tensor::scalar(t.sum() / t.len() as f32);
+        let mean = t.sum() / t.len() as f32;
+        let mut v = self.alloc(1, 1);
+        v.data_mut()[0] = mean;
         self.push(Op::MeanAll(a), v)
     }
 
@@ -329,74 +464,95 @@ impl<'s> Graph<'s> {
         assert!(!self.ran_backward, "backward may only run once per graph");
         assert_eq!(self.values[loss.0].shape(), (1, 1), "loss must be a scalar");
         self.ran_backward = true;
-        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        let mut seed = self.alloc(1, 1);
+        seed.data_mut()[0] = 1.0;
+        self.grads[loss.0] = Some(seed);
 
         for i in (0..self.ops.len()).rev() {
-            let Some(g) = self.grads[i].clone() else {
+            // Take the node's gradient for the duration of its backward
+            // step (no clone); restored below so `grad()` keeps working.
+            let Some(g) = self.grads[i].take() else {
                 continue;
             };
             match self.ops[i].clone() {
-                Op::Input | Op::Param(_) => {}
+                Op::Input | Op::Param(_) | Op::GatherParamRows(_, _) => {}
                 Op::MatMul(a, b) => {
-                    let bt = self.values[b.0].transposed();
-                    let at = self.values[a.0].transposed();
-                    let da = g.matmul(&bt);
-                    let db = at.matmul(&g);
+                    let mut da = self.alloc(g.rows(), self.values[a.0].cols());
+                    g.matmul_nt_accum_into(&self.values[b.0], &mut da);
+                    let mut db = self.alloc(self.values[a.0].cols(), g.cols());
+                    self.values[a.0].matmul_tn_accum_into(&g, &mut db);
                     self.accum(a, da);
                     self.accum(b, db);
                 }
+                Op::Linear(x, w, b) => {
+                    let mut dx = self.alloc(g.rows(), self.values[x.0].cols());
+                    g.matmul_nt_accum_into(&self.values[w.0], &mut dx);
+                    let mut dw = self.alloc(self.values[x.0].cols(), g.cols());
+                    self.values[x.0].matmul_tn_accum_into(&g, &mut dw);
+                    let db = colsum(self, &g);
+                    self.accum(x, dx);
+                    self.accum(w, dw);
+                    self.accum(b, db);
+                }
                 Op::AddRowBroadcast(a, bias) => {
-                    let mut db = Tensor::zeros(1, g.cols());
-                    for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            db[(0, c)] += g[(r, c)];
-                        }
-                    }
-                    self.accum(a, g);
+                    let db = colsum(self, &g);
+                    let da = self.dup(&g);
+                    self.accum(a, da);
                     self.accum(bias, db);
                 }
                 Op::Add(a, b) => {
-                    self.accum(a, g.clone());
-                    self.accum(b, g);
+                    let da = self.dup(&g);
+                    let db = self.dup(&g);
+                    self.accum(a, da);
+                    self.accum(b, db);
                 }
                 Op::Sub(a, b) => {
-                    self.accum(a, g.clone());
-                    self.accum(b, g.map(|x| -x));
+                    let da = self.dup(&g);
+                    let mut db = self.dup(&g);
+                    db.map_inplace(|x| -x);
+                    self.accum(a, da);
+                    self.accum(b, db);
                 }
                 Op::MulElem(a, b) => {
-                    let da = g.zip(&self.values[b.0], |x, y| x * y);
-                    let db = g.zip(&self.values[a.0], |x, y| x * y);
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(&self.values[b.0], |x, y| x * y);
+                    let mut db = self.dup(&g);
+                    db.zip_inplace(&self.values[a.0], |x, y| x * y);
                     self.accum(a, da);
                     self.accum(b, db);
                 }
                 Op::Minimum(a, b) => {
-                    let av = self.values[a.0].clone();
-                    let bv = self.values[b.0].clone();
-                    let da = Tensor::from_vec(
-                        g.rows(),
-                        g.cols(),
-                        g.data()
-                            .iter()
-                            .zip(av.data().iter().zip(bv.data().iter()))
-                            .map(|(&gd, (&x, &y))| if x <= y { gd } else { 0.0 })
-                            .collect(),
-                    );
-                    let db = Tensor::from_vec(
-                        g.rows(),
-                        g.cols(),
-                        g.data()
-                            .iter()
-                            .zip(av.data().iter().zip(bv.data().iter()))
-                            .map(|(&gd, (&x, &y))| if x > y { gd } else { 0.0 })
-                            .collect(),
-                    );
+                    let (av, bv) = (&self.values[a.0], &self.values[b.0]);
+                    let mut da = self.alloc(g.rows(), g.cols());
+                    let mut db = self.alloc(g.rows(), g.cols());
+                    for (((da_i, db_i), &gd), (&x, &y)) in da
+                        .data_mut()
+                        .iter_mut()
+                        .zip(db.data_mut().iter_mut())
+                        .zip(g.data().iter())
+                        .zip(av.data().iter().zip(bv.data().iter()))
+                    {
+                        if x <= y {
+                            *da_i = gd;
+                        } else {
+                            *db_i = gd;
+                        }
+                    }
                     self.accum(a, da);
                     self.accum(b, db);
                 }
-                Op::Scale(a, c) => self.accum(a, g.map(|x| x * c)),
-                Op::AddScalar(a, _) => self.accum(a, g),
+                Op::Scale(a, c) => {
+                    let mut da = self.dup(&g);
+                    da.map_inplace(|x| x * c);
+                    self.accum(a, da);
+                }
+                Op::AddScalar(a, _) => {
+                    let da = self.dup(&g);
+                    self.accum(a, da);
+                }
                 Op::Clamp(a, lo, hi) => {
-                    let da = g.zip(
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(
                         &self.values[a.0],
                         |gd, x| {
                             if x > lo && x < hi {
@@ -409,24 +565,28 @@ impl<'s> Graph<'s> {
                     self.accum(a, da);
                 }
                 Op::Tanh(a) => {
-                    let da = g.zip(&self.values[i], |gd, y| gd * (1.0 - y * y));
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(&self.values[i], |gd, y| gd * (1.0 - y * y));
                     self.accum(a, da);
                 }
                 Op::Relu(a) => {
-                    let da = g.zip(&self.values[a.0], |gd, x| if x > 0.0 { gd } else { 0.0 });
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(&self.values[a.0], |gd, x| if x > 0.0 { gd } else { 0.0 });
                     self.accum(a, da);
                 }
                 Op::Exp(a) => {
-                    let da = g.zip(&self.values[i], |gd, y| gd * y);
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(&self.values[i], |gd, y| gd * y);
                     self.accum(a, da);
                 }
                 Op::Ln(a) => {
-                    let da = g.zip(&self.values[a.0], |gd, x| gd / x);
+                    let mut da = self.dup(&g);
+                    da.zip_inplace(&self.values[a.0], |gd, x| gd / x);
                     self.accum(a, da);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = self.values[i].clone();
-                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    let y = &self.values[i];
+                    let mut da = self.alloc(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let dot: f32 = (0..y.cols()).map(|c| g[(r, c)] * y[(r, c)]).sum();
                         for c in 0..y.cols() {
@@ -436,8 +596,8 @@ impl<'s> Graph<'s> {
                     self.accum(a, da);
                 }
                 Op::LogSoftmaxRows(a) => {
-                    let y = self.values[i].clone(); // log-probs
-                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    let y = &self.values[i]; // log-probs
+                    let mut da = self.alloc(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let gsum: f32 = (0..y.cols()).map(|c| g[(r, c)]).sum();
                         for c in 0..y.cols() {
@@ -446,50 +606,59 @@ impl<'s> Graph<'s> {
                     }
                     self.accum(a, da);
                 }
-                Op::Transpose(a) => self.accum(a, g.transposed()),
+                Op::Transpose(a) => {
+                    let (rows, cols) = (g.rows(), g.cols());
+                    let mut da = self.alloc(cols, rows);
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            da.data_mut()[c * rows + r] = g.data()[r * cols + c];
+                        }
+                    }
+                    self.accum(a, da);
+                }
                 Op::GatherRows(table, indices) => {
                     let t = &self.values[table.0];
-                    let mut dt = Tensor::zeros(t.rows(), t.cols());
+                    let cols = t.cols();
+                    let mut dt = self.alloc(t.rows(), cols);
                     for (r, &idx) in indices.iter().enumerate() {
-                        for c in 0..t.cols() {
-                            dt[(idx, c)] += g[(r, c)];
+                        let dst = &mut dt.data_mut()[idx * cols..(idx + 1) * cols];
+                        for (d, &gd) in dst.iter_mut().zip(g.data()[r * cols..].iter()) {
+                            *d += gd;
                         }
                     }
                     self.accum(table, dt);
                 }
                 Op::ConcatCols(parts) => {
+                    let total = g.cols();
                     let mut col = 0;
                     for p in parts {
                         let w = self.values[p.0].cols();
                         let rows = self.values[p.0].rows();
-                        let mut dp = Tensor::zeros(rows, w);
+                        let mut dp = self.alloc(rows, w);
                         for r in 0..rows {
-                            for c in 0..w {
-                                dp[(r, c)] = g[(r, col + c)];
-                            }
+                            dp.data_mut()[r * w..(r + 1) * w]
+                                .copy_from_slice(&g.data()[r * total + col..r * total + col + w]);
                         }
                         self.accum(p, dp);
                         col += w;
                     }
                 }
                 Op::ConcatRows(parts) => {
+                    let cols = g.cols();
                     let mut row = 0;
                     for p in parts {
                         let h = self.values[p.0].rows();
-                        let cols = self.values[p.0].cols();
-                        let mut dp = Tensor::zeros(h, cols);
-                        for r in 0..h {
-                            for c in 0..cols {
-                                dp[(r, c)] = g[(row + r, c)];
-                            }
-                        }
+                        let mut dp = self.alloc(h, cols);
+                        let n = h * cols;
+                        dp.data_mut()
+                            .copy_from_slice(&g.data()[row * cols..row * cols + n]);
                         self.accum(p, dp);
                         row += h;
                     }
                 }
                 Op::PickPerRow(a, indices) => {
                     let v = &self.values[a.0];
-                    let mut da = Tensor::zeros(v.rows(), v.cols());
+                    let mut da = self.alloc(v.rows(), v.cols());
                     for (r, &c) in indices.iter().enumerate() {
                         da[(r, c)] += g[(r, 0)];
                     }
@@ -498,56 +667,119 @@ impl<'s> Graph<'s> {
                 Op::SumAll(a) => {
                     let gv = g[(0, 0)];
                     let v = &self.values[a.0];
-                    self.accum(a, Tensor::full(v.rows(), v.cols(), gv));
+                    let mut da = self.alloc(v.rows(), v.cols());
+                    da.data_mut().fill(gv);
+                    self.accum(a, da);
                 }
                 Op::MeanAll(a) => {
                     let v = &self.values[a.0];
                     let gv = g[(0, 0)] / v.len() as f32;
-                    self.accum(a, Tensor::full(v.rows(), v.cols(), gv));
+                    let mut da = self.alloc(v.rows(), v.cols());
+                    da.data_mut().fill(gv);
+                    self.accum(a, da);
                 }
             }
+            self.grads[i] = Some(g);
         }
     }
 
     fn accum(&mut self, n: NodeId, g: Tensor) {
         match &mut self.grads[n.0] {
-            Some(existing) => existing.add_scaled(&g, 1.0),
+            Some(existing) => {
+                existing.add_scaled(&g, 1.0);
+                if let Some(arena) = self.arena {
+                    arena.recycle(g);
+                }
+            }
             slot @ None => *slot = Some(g),
         }
     }
 
     /// Gradients of every parameter node, merged by [`ParamId`].
+    /// Gathered-parameter nodes ([`Graph::gather_param_rows`]) scatter
+    /// their row gradients into a table-shaped tensor here.
     pub fn param_grads(&self) -> HashMap<ParamId, Tensor> {
         let mut out: HashMap<ParamId, Tensor> = HashMap::new();
         for (i, op) in self.ops.iter().enumerate() {
-            if let Op::Param(p) = op {
-                if let Some(g) = &self.grads[i] {
-                    out.entry(*p)
-                        .and_modify(|acc| acc.add_scaled(g, 1.0))
-                        .or_insert_with(|| g.clone());
+            match op {
+                Op::Param(p) => {
+                    if let Some(g) = &self.grads[i] {
+                        out.entry(*p)
+                            .and_modify(|acc| acc.add_scaled(g, 1.0))
+                            .or_insert_with(|| g.clone());
+                    }
                 }
+                Op::GatherParamRows(p, indices) => {
+                    if let Some(g) = &self.grads[i] {
+                        let table = self.store.get(*p);
+                        let cols = table.cols();
+                        let entry = out
+                            .entry(*p)
+                            .or_insert_with(|| Tensor::zeros(table.rows(), cols));
+                        for (r, &idx) in indices.iter().enumerate() {
+                            let dst = &mut entry.data_mut()[idx * cols..(idx + 1) * cols];
+                            for (d, &gd) in dst.iter_mut().zip(g.data()[r * cols..].iter()) {
+                                *d += gd;
+                            }
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         out
     }
 }
 
-fn softmax_rows(t: &Tensor) -> Tensor {
-    let mut out = t.clone();
-    for r in 0..t.rows() {
-        let row = t.row(r);
-        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for c in 0..t.cols() {
-            let e = (t[(r, c)] - m).exp();
-            out[(r, c)] = e;
-            sum += e;
+impl Drop for Graph<'_> {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena {
+            for v in self.values.drain(..) {
+                arena.recycle(v);
+            }
+            for g in self.grads.drain(..).flatten() {
+                arena.recycle(g);
+            }
         }
-        for c in 0..t.cols() {
-            out[(r, c)] /= sum;
+    }
+}
+
+/// Column sums of `g` as a `1×d` arena-backed tensor (bias gradients).
+fn colsum(g_ref: &Graph<'_>, g: &Tensor) -> Tensor {
+    let cols = g.cols();
+    let mut out = g_ref.alloc(1, cols);
+    for r in 0..g.rows() {
+        let row = &g.data()[r * cols..(r + 1) * cols];
+        for (o, &x) in out.data_mut().iter_mut().zip(row.iter()) {
+            *o += x;
         }
     }
     out
+}
+
+fn gather_into(table: &Tensor, indices: &[usize], out: &mut Tensor) {
+    let cols = table.cols();
+    for (i, &idx) in indices.iter().enumerate() {
+        assert!(idx < table.rows(), "gather index out of bounds");
+        out.data_mut()[i * cols..(i + 1) * cols].copy_from_slice(table.row(idx));
+    }
+}
+
+fn softmax_rows_inplace(t: &mut Tensor) {
+    let (rows, cols) = t.shape();
+    for r in 0..rows {
+        let row = &mut t.data_mut()[r * cols..(r + 1) * cols];
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            let e = (*x - m).exp();
+            *x = e;
+            sum += e;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -575,28 +807,34 @@ mod tests {
         );
         let p = store.param("p", init);
 
-        // Analytic gradient.
-        let mut g = Graph::new(&store);
-        let leaf = g.param(p);
-        let loss = build(&mut g, leaf);
-        g.backward(loss);
-        let analytic = g.param_grads().remove(&p).expect("param grad");
+        // Analytic gradient (scoped: Graph's Drop holds the store borrow).
+        let analytic = {
+            let mut g = Graph::new(&store);
+            let leaf = g.param(p);
+            let loss = build(&mut g, leaf);
+            g.backward(loss);
+            g.param_grads().remove(&p).expect("param grad")
+        };
 
         // Numeric gradient.
         let eps = 1e-3f32;
         for i in 0..store.get(p).len() {
             let orig = store.get(p).data()[i];
             store.get_mut(p).data_mut()[i] = orig + eps;
-            let mut g1 = Graph::new(&store);
-            let leaf = g1.param(p);
-            let l1 = build(&mut g1, leaf);
-            let f1 = g1.value(l1).data()[0];
+            let f1 = {
+                let mut g1 = Graph::new(&store);
+                let leaf = g1.param(p);
+                let l1 = build(&mut g1, leaf);
+                g1.value(l1).data()[0]
+            };
 
             store.get_mut(p).data_mut()[i] = orig - eps;
-            let mut g2 = Graph::new(&store);
-            let leaf = g2.param(p);
-            let l2 = build(&mut g2, leaf);
-            let f2 = g2.value(l2).data()[0];
+            let f2 = {
+                let mut g2 = Graph::new(&store);
+                let leaf = g2.param(p);
+                let l2 = build(&mut g2, leaf);
+                g2.value(l2).data()[0]
+            };
 
             store.get_mut(p).data_mut()[i] = orig;
             let numeric = (f1 - f2) / (2.0 * eps);
@@ -639,6 +877,186 @@ mod tests {
                 g.sum_all(y)
             },
             2,
+        );
+    }
+
+    #[test]
+    fn grad_linear_wrt_input() {
+        grad_check(
+            (3, 4),
+            |g, p| {
+                let w = g.input(Tensor::from_vec(
+                    4,
+                    2,
+                    (0..8).map(|i| i as f32 * 0.1 - 0.3).collect(),
+                ));
+                let b = g.input(Tensor::from_vec(1, 2, vec![0.5, -0.25]));
+                let y = g.linear(p, w, b);
+                let t = g.tanh(y);
+                g.sum_all(t)
+            },
+            21,
+        );
+    }
+
+    #[test]
+    fn grad_linear_wrt_weight() {
+        grad_check(
+            (4, 2),
+            |g, p| {
+                let x = g.input(Tensor::from_vec(
+                    3,
+                    4,
+                    (0..12).map(|i| i as f32 * 0.07 - 0.4).collect(),
+                ));
+                let b = g.input(Tensor::from_vec(1, 2, vec![0.1, 0.2]));
+                let y = g.linear(x, p, b);
+                let sq = g.mul_elem(y, y);
+                g.mean_all(sq)
+            },
+            22,
+        );
+    }
+
+    #[test]
+    fn grad_linear_wrt_bias() {
+        grad_check(
+            (1, 3),
+            |g, p| {
+                let x = g.input(Tensor::from_vec(
+                    4,
+                    2,
+                    (0..8).map(|i| i as f32 * 0.1).collect(),
+                ));
+                let w = g.input(Tensor::from_vec(
+                    2,
+                    3,
+                    (0..6).map(|i| i as f32 * 0.2).collect(),
+                ));
+                let y = g.linear(x, w, p);
+                let e = g.exp(y);
+                g.sum_all(e)
+            },
+            23,
+        );
+    }
+
+    /// The fused op must be bitwise-identical to the two-op spelling —
+    /// forward values and all parameter gradients.
+    #[test]
+    fn linear_matches_matmul_plus_broadcast_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut store = ParamStore::new(31);
+        let x_init = Tensor::from_vec(5, 7, (0..35).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let w = store.param(
+            "w",
+            Tensor::from_vec(7, 3, (0..21).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+        );
+        let b = store.param(
+            "b",
+            Tensor::from_vec(1, 3, (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+        );
+
+        let mut g1 = Graph::new(&store);
+        let x1 = g1.input(x_init.clone());
+        let (wn, bn) = (g1.param(w), g1.param(b));
+        let fused = g1.linear(x1, wn, bn);
+        let t1 = g1.tanh(fused);
+        let l1 = g1.sum_all(t1);
+        g1.backward(l1);
+        let grads1 = g1.param_grads();
+
+        let mut g2 = Graph::new(&store);
+        let x2 = g2.input(x_init);
+        let (wn2, bn2) = (g2.param(w), g2.param(b));
+        let mm = g2.matmul(x2, wn2);
+        let unfused = g2.add_row_broadcast(mm, bn2);
+        let t2 = g2.tanh(unfused);
+        let l2 = g2.sum_all(t2);
+        g2.backward(l2);
+        let grads2 = g2.param_grads();
+
+        assert_eq!(g1.value(fused), g2.value(unfused), "forward diverged");
+        assert_eq!(grads1[&w], grads2[&w], "dW diverged");
+        assert_eq!(grads1[&b], grads2[&b], "db diverged");
+    }
+
+    /// Direct-from-store gathers must match the param + gather_rows
+    /// spelling bitwise, values and gradients both.
+    #[test]
+    fn gather_param_rows_matches_param_gather() {
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let mut store = ParamStore::new(37);
+        let table = store.param(
+            "table",
+            Tensor::from_vec(6, 4, (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+        );
+        let idxs = [0usize, 3, 3, 5, 1];
+
+        let mut g1 = Graph::new(&store);
+        let rows1 = g1.gather_param_rows(table, &idxs);
+        let sq1 = g1.mul_elem(rows1, rows1);
+        let l1 = g1.sum_all(sq1);
+        g1.backward(l1);
+        let grads1 = g1.param_grads();
+
+        let mut g2 = Graph::new(&store);
+        let t = g2.param(table);
+        let rows2 = g2.gather_rows(t, &idxs);
+        let sq2 = g2.mul_elem(rows2, rows2);
+        let l2 = g2.sum_all(sq2);
+        g2.backward(l2);
+        let grads2 = g2.param_grads();
+
+        assert_eq!(g1.value(rows1), g2.value(rows2));
+        assert_eq!(grads1[&table], grads2[&table]);
+    }
+
+    #[test]
+    fn param_nodes_are_memoized() {
+        let mut store = ParamStore::new(0);
+        let p = store.param("p", Tensor::scalar(2.0));
+        let mut g = Graph::new(&store);
+        let a = g.param(p);
+        let b = g.param(p);
+        assert_eq!(a, b, "same ParamId must map to one tape node");
+    }
+
+    /// An arena-backed graph computes the same values as a plain one and
+    /// actually reuses buffers on the second tape.
+    #[test]
+    fn arena_graphs_match_plain_graphs_and_reuse_buffers() {
+        let mut store = ParamStore::new(5);
+        let w = store.param_xavier("w", 6, 4);
+        let b = store.param("b", Tensor::zeros(1, 4));
+        let arena = TensorArena::new();
+        let x = Tensor::from_vec(3, 6, (0..18).map(|i| (i as f32).sin()).collect());
+
+        let run = |g: &mut Graph<'_>| {
+            let xn = g.input(x.clone());
+            let (wn, bn) = (g.param(w), g.param(b));
+            let y = g.linear(xn, wn, bn);
+            let t = g.tanh(y);
+            let l = g.mean_all(t);
+            g.backward(l);
+            (g.value(t).clone(), g.param_grads())
+        };
+
+        let (plain_v, plain_g) = {
+            let mut g = Graph::new(&store);
+            run(&mut g)
+        };
+        for pass in 0..2 {
+            let mut g = Graph::with_arena(&store, &arena);
+            let (v, grads) = run(&mut g);
+            assert_eq!(v, plain_v, "arena pass {pass} changed forward values");
+            assert_eq!(grads[&w], plain_g[&w]);
+            assert_eq!(grads[&b], plain_g[&b]);
+        }
+        let stats = arena.stats();
+        assert!(
+            stats.reused > 0,
+            "second arena tape must reuse buffers: {stats:?}"
         );
     }
 

@@ -6,12 +6,19 @@
 //! minimal differentiable-programming stack those components need, with no
 //! external ML dependencies:
 //!
-//! * [`Tensor`] — dense row-major `f32` matrices;
-//! * [`Graph`] — a tape of operations supporting `matmul`, broadcasting
-//!   adds, `tanh`/`relu`/`exp`/`ln`, row softmax / log-softmax, embedding
-//!   `gather`, concatenation, elementwise arithmetic, clipping, minimum,
-//!   per-row selection, and reductions — everything PPO over an
-//!   attention-based encoder requires;
+//! * [`Tensor`] — dense row-major `f32` matrices with cache-blocked
+//!   matmul and transpose-free `Aᵀ·B` / `A·Bᵀ` kernels for the backward
+//!   pass;
+//! * [`Graph`] — a tape of operations supporting `matmul`, a fused
+//!   `linear` (matmul + bias broadcast in one node), broadcasting adds,
+//!   `tanh`/`relu`/`exp`/`ln`, row softmax / log-softmax, embedding
+//!   `gather` (including direct-from-store parameter gathers),
+//!   concatenation, elementwise arithmetic, clipping, minimum, per-row
+//!   selection, and reductions — everything PPO over an attention-based
+//!   encoder requires;
+//! * [`TensorArena`] — a recycled buffer pool graphs draw from
+//!   ([`Graph::with_arena`]) so per-iteration tapes stop churning the
+//!   allocator;
 //! * [`ParamStore`] — named parameters with gradient accumulation and an
 //!   [`Adam`] optimizer;
 //! * [`serialize`] — a small self-describing text format for checkpoints
@@ -47,11 +54,13 @@
 //! assert!((store.get(w).data()[0] - 2.0).abs() < 1e-2);
 //! ```
 
+pub mod arena;
 pub mod graph;
 pub mod params;
 pub mod serialize;
 pub mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use graph::{Graph, NodeId};
 pub use params::{Adam, ParamId, ParamStore};
 pub use tensor::Tensor;

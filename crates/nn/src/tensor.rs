@@ -120,27 +120,147 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_accum_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `self × other` into `out` (`out += self × other`).
+    ///
+    /// The kernel is cache-blocked over `k` and the output columns so the
+    /// active tile of `other` (at most `MM_KB × MM_JB` floats, 16 KiB)
+    /// stays resident in L1 while every row of `self` streams over it.
+    /// For each output element the partial products are still summed in
+    /// ascending `k`, so results are bitwise-identical to the textbook
+    /// i-k-j loop — and each output row depends only on its own input
+    /// row, which is what keeps batched forwards equal to per-sample
+    /// forwards. Dense data takes no branches in the inner loop and
+    /// `0 × NaN` propagates as NaN (IEEE semantics, no zero-skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_accum_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams `other` rows, vectorizer friendly.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        const MM_KB: usize = 64;
+        const MM_JB: usize = 64;
+        let (m, kd, n) = (self.rows, self.cols, other.cols);
+        let mut kb = 0;
+        while kb < kd {
+            let k_end = (kb + MM_KB).min(kd);
+            let mut jb = 0;
+            while jb < n {
+                let j_end = (jb + MM_JB).min(n);
+                for i in 0..m {
+                    let a_row = &self.data[i * kd..(i + 1) * kd];
+                    let out_row = &mut out.data[i * n + jb..i * n + j_end];
+                    for k in kb..k_end {
+                        let a = a_row[k];
+                        let b_row = &other.data[k * n + jb..k * n + j_end];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                jb = j_end;
+            }
+            kb = k_end;
+        }
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    ///
+    /// This is the `xᵀ·g` shape reverse-mode matmul produces for its
+    /// left-operand gradient: the k-outer/i-mid/j-inner order reads both
+    /// inputs strictly row-by-row (sequential memory), where transposing
+    /// first would stride-walk a freshly allocated copy. Accumulation per
+    /// output element is ascending `k`, matching
+    /// `self.transposed().matmul(other)` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.rows == other.rows`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_accum_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `selfᵀ × other` into `out` (see [`Tensor::matmul_tn`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_tn_accum_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.cols, other.cols);
+        assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
+        for k in 0..self.rows {
+            let a_row = &self.data[k * m..(k + 1) * m];
+            let b_row = &other.data[k * n..(k + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
         }
+    }
+
+    /// `self × otherᵀ` without materializing the transpose.
+    ///
+    /// The `g·wᵀ` shape of reverse-mode matmul's right-operand gradient:
+    /// every output element is a dot product of two rows, so both inputs
+    /// are read sequentially. Ascending-`k` accumulation matches
+    /// `self.matmul(&other.transposed())` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == other.cols`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_nt_accum_into(other, &mut out);
         out
+    }
+
+    /// Accumulates `self × otherᵀ` into `out` (see [`Tensor::matmul_nt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_nt_accum_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} ×ᵀ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, kd, n) = (self.rows, self.cols, other.rows);
+        assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
+        for i in 0..m {
+            let a_row = &self.data[i * kd..(i + 1) * kd];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * kd..(j + 1) * kd];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o += acc;
+            }
+        }
     }
 
     /// Transposed copy.
@@ -152,6 +272,31 @@ impl Tensor {
             }
         }
         out
+    }
+
+    /// Consumes the tensor, returning its backing buffer (used by the
+    /// arena to recycle allocations across graphs).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Elementwise map in place (no allocation).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// In-place elementwise combination: `self[i] = f(self[i], other[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
     }
 
     /// Elementwise map.
@@ -282,6 +427,94 @@ mod tests {
         assert_eq!(a.row(1), &[7.0, 0.0]);
     }
 
+    /// The seed kernel skipped `a == 0.0` rows entirely, which silently
+    /// swallowed NaNs in the right operand (`0 × NaN` is NaN, not 0).
+    /// The tiled kernel must follow IEEE semantics.
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        let a = Tensor::from_rows(&[vec![0.0, 0.0]]);
+        let b = Tensor::from_rows(&[vec![f32::NAN, 1.0], vec![2.0, 3.0]]);
+        let c = a.matmul(&b);
+        assert!(c[(0, 0)].is_nan(), "0 × NaN must propagate NaN");
+        assert_eq!(c[(0, 1)], 0.0);
+    }
+
+    /// Textbook i-k-j reference the tiled kernel must match bitwise
+    /// (identical ascending-k accumulation order).
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                for j in 0..b.cols() {
+                    out[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        )
+    }
+
+    /// Tiled kernel on shapes spanning several tile boundaries, including
+    /// dimensions beyond one 64-wide block.
+    #[test]
+    fn tiled_matmul_matches_reference_across_blocks() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 70, 5),
+            (17, 130, 65),
+            (64, 64, 64),
+            (2, 200, 130),
+        ] {
+            let a = random_tensor(m, k, (m * 1000 + n) as u64);
+            let b = random_tensor(k, n, (k * 7 + 3) as u64);
+            let tiled = a.matmul(&b);
+            let reference = matmul_reference(&a, &b);
+            assert_eq!(tiled, reference, "tiled kernel diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_nt_match_materialized_transposes() {
+        for &(m, k, n) in &[(1, 4, 3), (9, 70, 11), (33, 5, 80)] {
+            // tn: aᵀ·b where a is k×m (shared leading dim k).
+            let a = random_tensor(k, m, 11 + m as u64);
+            let b = random_tensor(k, n, 13 + n as u64);
+            assert_eq!(a.matmul_tn(&b), a.transposed().matmul(&b));
+            // nt: g·wᵀ where g is m×k, w is n×k (shared trailing dim k).
+            let g = random_tensor(m, k, 17 + m as u64);
+            let w = random_tensor(n, k, 19 + n as u64);
+            assert_eq!(g.matmul_nt(&w), g.matmul(&w.transposed()));
+        }
+    }
+
+    #[test]
+    fn inplace_helpers_match_allocating_versions() {
+        let a = random_tensor(4, 5, 23);
+        let b = random_tensor(4, 5, 29);
+        let mut m = a.clone();
+        m.map_inplace(|x| x * 2.0 + 1.0);
+        assert_eq!(m, a.map(|x| x * 2.0 + 1.0));
+        let mut z = a.clone();
+        z.zip_inplace(&b, |x, y| x - y);
+        assert_eq!(z, a.zip(&b, |x, y| x - y));
+    }
+
+    #[test]
+    fn into_data_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let buf = a.clone().into_data();
+        assert_eq!(Tensor::from_vec(2, 3, buf), a);
+    }
+
     #[test]
     fn add_scaled_accumulates() {
         let mut a = Tensor::full(2, 2, 1.0);
@@ -291,6 +524,36 @@ mod tests {
     }
 
     proptest! {
+        /// The tiled kernel is bitwise-identical to the textbook i-k-j
+        /// loop on arbitrary shapes (tile-boundary straddling included).
+        #[test]
+        fn prop_tiled_matmul_matches_reference(
+            m in 1usize..12, n in 1usize..80, k in 1usize..80,
+            seed in 0u64..1000
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = Tensor::from_vec(m, k, (0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let b = Tensor::from_vec(k, n, (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            prop_assert_eq!(a.matmul(&b), matmul_reference(&a, &b));
+        }
+
+        /// Transpose-free kernels agree bitwise with transpose-then-matmul.
+        #[test]
+        fn prop_tn_nt_match_transposed_matmul(
+            m in 1usize..8, n in 1usize..40, k in 1usize..40,
+            seed in 0u64..1000
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = Tensor::from_vec(k, m, (0..k*m).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let b = Tensor::from_vec(k, n, (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            prop_assert_eq!(a.matmul_tn(&b), a.transposed().matmul(&b));
+            let g = Tensor::from_vec(m, k, (0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let w = Tensor::from_vec(n, k, (0..n*k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            prop_assert_eq!(g.matmul_nt(&w), g.matmul(&w.transposed()));
+        }
+
         /// (A B)ᵀ = Bᵀ Aᵀ
         #[test]
         fn prop_transpose_of_product(

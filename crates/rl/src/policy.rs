@@ -128,29 +128,29 @@ impl PolicyNet {
     }
 
     /// Runs the network on a `batch × input_dim` observation node.
+    ///
+    /// Every affine stage is the fused [`Graph::linear`] op — one tape
+    /// node and one output allocation per layer instead of the
+    /// matmul + broadcast pair, with bitwise-identical results.
     pub fn forward(&self, g: &mut Graph<'_>, obs: NodeId) -> PolicyOut {
         let mut h = obs;
         for (w, b) in &self.layers {
             let (wn, bn) = (g.param(*w), g.param(*b));
-            let lin = g.matmul(h, wn);
-            let lin = g.add_row_broadcast(lin, bn);
+            let lin = g.linear(h, wn, bn);
             h = g.tanh(lin);
         }
         let (vw, vb) = self.value_head;
         let (vwn, vbn) = (g.param(vw), g.param(vb));
-        let v = g.matmul(h, vwn);
-        let value = g.add_row_broadcast(v, vbn);
+        let value = g.linear(h, vwn, vbn);
 
         match self.cfg.kind {
             ActionSpaceKind::Discrete => {
                 let (w, b) = self.head_vf;
                 let (wn, bn) = (g.param(w), g.param(b));
-                let lv = g.matmul(h, wn);
-                let lv = g.add_row_broadcast(lv, bn);
+                let lv = g.linear(h, wn, bn);
                 let (w2, b2) = self.head_if.expect("discrete policy has an IF head");
                 let (wn2, bn2) = (g.param(w2), g.param(b2));
-                let li = g.matmul(h, wn2);
-                let li = g.add_row_broadcast(li, bn2);
+                let li = g.linear(h, wn2, bn2);
                 PolicyOut {
                     logits_vf: Some(lv),
                     logits_if: Some(li),
@@ -161,8 +161,7 @@ impl PolicyNet {
             ActionSpaceKind::Continuous1D | ActionSpaceKind::Continuous2D => {
                 let (w, b) = self.head_vf;
                 let (wn, bn) = (g.param(w), g.param(b));
-                let mu = g.matmul(h, wn);
-                let mu = g.add_row_broadcast(mu, bn);
+                let mu = g.linear(h, wn, bn);
                 PolicyOut {
                     logits_vf: None,
                     logits_if: None,

@@ -7,12 +7,14 @@
 //! *and* the code2vec encoder — the end-to-end property the paper
 //! emphasizes.
 
+use std::collections::HashMap;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use nvc_embed::{CodeEmbedder, EmbedConfig, PathSample};
-use nvc_nn::{Adam, Graph, NodeId, ParamStore, Tensor};
+use nvc_nn::{Adam, Graph, NodeId, ParamStore, Tensor, TensorArena};
 
 use crate::policy::{PolicyConfig, PolicyNet};
 use crate::spaces::{ActionDims, ActionSpaceKind};
@@ -99,16 +101,25 @@ pub struct IterStats {
     pub entropy: f64,
 }
 
-#[derive(Debug, Clone)]
-struct Transition {
-    ctx: usize,
-    action: (usize, usize),
+/// One collected single-step episode (public so benches and parity tests
+/// can compare the batched and per-sample collection paths field by
+/// field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Environment context index the episode observed.
+    pub ctx: usize,
+    /// The `(vf_idx, if_idx)` action taken.
+    pub action: (usize, usize),
     /// Raw continuous sample (unused for discrete).
-    raw: [f32; 2],
-    logp_old: f32,
-    reward: f64,
-    value: f32,
-    advantage: f32,
+    pub raw: [f32; 2],
+    /// Log-probability of the action under the behavior policy.
+    pub logp_old: f32,
+    /// Environment reward.
+    pub reward: f64,
+    /// Value-baseline estimate at collection time.
+    pub value: f32,
+    /// Normalized advantage (filled in by the update, 0 after collect).
+    pub advantage: f32,
 }
 
 /// The PPO trainer: embedder + policy sharing one parameter store.
@@ -119,6 +130,10 @@ pub struct PpoTrainer {
     embedder: CodeEmbedder,
     policy: PolicyNet,
     adam: Adam,
+    /// Recycled tensor buffers shared by every graph the trainer builds
+    /// (collection, minibatch updates, and concurrent inference all draw
+    /// from the same pool).
+    arena: TensorArena,
     steps: u64,
 }
 
@@ -142,6 +157,7 @@ impl PpoTrainer {
             store,
             embedder,
             policy,
+            arena: TensorArena::new(),
             steps: 0,
         }
     }
@@ -231,7 +247,7 @@ impl PpoTrainer {
 
     /// Greedy (deterministic) action for a loop sample.
     pub fn predict(&self, sample: &PathSample) -> (usize, usize) {
-        let mut g = Graph::new(&self.store);
+        let mut g = Graph::with_arena(&self.store, &self.arena);
         let obs = self.embedder.forward(&mut g, sample);
         let out = self.policy.forward(&mut g, obs);
         match self.cfg.action_space {
@@ -264,7 +280,7 @@ impl PpoTrainer {
         if samples.is_empty() {
             return Vec::new();
         }
-        let mut g = Graph::new(&self.store);
+        let mut g = Graph::with_arena(&self.store, &self.arena);
         let obs = self.embedder.forward_batch(&mut g, samples);
         let out = self.policy.forward(&mut g, obs);
         match self.cfg.action_space {
@@ -292,7 +308,7 @@ impl PpoTrainer {
 
     /// The value estimate for a sample (used by analysis tooling).
     pub fn value_of(&self, sample: &PathSample) -> f32 {
-        let mut g = Graph::new(&self.store);
+        let mut g = Graph::with_arena(&self.store, &self.arena);
         let obs = self.embedder.forward(&mut g, sample);
         let out = self.policy.forward(&mut g, obs);
         g.value(out.value).data()[0]
@@ -300,7 +316,130 @@ impl PpoTrainer {
 
     // ------------------------------------------------------------------
 
-    fn collect(&mut self, env: &mut impl BanditEnv, rng: &mut impl Rng) -> Vec<Transition> {
+    /// Rollout collection for one iteration — the batched hot path.
+    ///
+    /// The whole `train_batch` runs as **one** graph: every distinct
+    /// context is embedded once ([`CodeEmbedder::forward_batch`] over the
+    /// unique contexts, then a row gather fans them back out to the
+    /// batch), and the policy runs a single stacked forward over all
+    /// rows. Actions are then sampled row by row.
+    ///
+    /// Transitions are bitwise-identical to
+    /// [`PpoTrainer::collect_reference`] under the same RNG state: the
+    /// context draws and action-sampling uniforms are pre-drawn in
+    /// exactly the per-sample interleaving (context `i`, then sample
+    /// `i`'s uniforms — the draw count per sample is fixed by the action
+    /// space, never by the logits), the batched forward computes each
+    /// output row from its own input row alone, and rewards are queried
+    /// in the same ascending order.
+    pub fn collect(&mut self, env: &mut impl BanditEnv, rng: &mut impl Rng) -> Vec<Transition> {
+        let dims = env.action_dims();
+        assert_eq!(
+            dims, self.cfg.action_dims,
+            "environment action dims must match the trainer configuration"
+        );
+        let n = self.cfg.train_batch;
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Phase 1: consume the RNG in the per-sample order.
+        let space = self.cfg.action_space;
+        let mut ctxs = Vec::with_capacity(n);
+        let mut uniforms: Vec<f32> = Vec::with_capacity(n * 4);
+        for _ in 0..n {
+            ctxs.push(rng.gen_range(0..env.num_contexts()));
+            match space {
+                ActionSpaceKind::Discrete => {
+                    uniforms.push(rng.gen_range(0.0..1.0));
+                    uniforms.push(rng.gen_range(0.0..1.0));
+                }
+                ActionSpaceKind::Continuous1D => {
+                    uniforms.push(rng.gen_range(1e-7..1.0));
+                    uniforms.push(rng.gen_range(0.0..1.0));
+                }
+                ActionSpaceKind::Continuous2D => {
+                    uniforms.push(rng.gen_range(1e-7..1.0));
+                    uniforms.push(rng.gen_range(0.0..1.0));
+                    uniforms.push(rng.gen_range(1e-7..1.0));
+                    uniforms.push(rng.gen_range(0.0..1.0));
+                }
+            }
+        }
+        let draws_per = uniforms.len() / n;
+
+        // Phase 2: one forward pass. Contexts repeat (draws are with
+        // replacement from a fixed pool), so embed each distinct one once
+        // and gather its row back out per sample.
+        let (unique, row_of) = dedup_contexts(ctxs.iter().copied());
+        let (values, logits_vf, logits_if, mus) = {
+            let samples: Vec<&PathSample> = unique.iter().map(|&c| env.context(c)).collect();
+            let mut g = Graph::with_arena(&self.store, &self.arena);
+            let uobs = self.embedder.forward_batch(&mut g, &samples);
+            let obs = g.gather_rows(uobs, &row_of);
+            let pol = self.policy.forward(&mut g, obs);
+            (
+                g.value(pol.value).data().to_vec(),
+                pol.logits_vf.map(|nid| g.value(nid).clone()),
+                pol.logits_if.map(|nid| g.value(nid).clone()),
+                pol.mu.map(|nid| g.value(nid).clone()),
+            )
+        };
+        let stds = self.log_std_values();
+
+        // Phase 3: per-row sampling and rewards, in collection order.
+        let mut out = Vec::with_capacity(n);
+        for (i, &ctx) in ctxs.iter().enumerate() {
+            let u = &uniforms[i * draws_per..(i + 1) * draws_per];
+            let (action, raw, logp_old) = match space {
+                ActionSpaceKind::Discrete => {
+                    let lv = logits_vf.as_ref().expect("discrete").row(i);
+                    let li = logits_if.as_ref().expect("discrete").row(i);
+                    let (av, lpv) = sample_categorical_with(lv, u[0]);
+                    let (ai, lpi) = sample_categorical_with(li, u[1]);
+                    ((av, ai), [0.0, 0.0], lpv + lpi)
+                }
+                ActionSpaceKind::Continuous1D => {
+                    let mu = mus.as_ref().expect("continuous").row(i)[0];
+                    let std = stds[0].exp();
+                    let x = mu + std * gaussian_from(u[0], u[1]);
+                    let lp = gaussian_logp(x, mu, std);
+                    (dims.decode_1d(x), [x, 0.0], lp)
+                }
+                ActionSpaceKind::Continuous2D => {
+                    let m = mus.as_ref().expect("continuous").row(i);
+                    let x0 = m[0] + stds[0].exp() * gaussian_from(u[0], u[1]);
+                    let x1 = m[1] + stds[1].exp() * gaussian_from(u[2], u[3]);
+                    let lp = gaussian_logp(x0, m[0], stds[0].exp())
+                        + gaussian_logp(x1, m[1], stds[1].exp());
+                    (dims.decode_2d(x0, x1), [x0, x1], lp)
+                }
+            };
+            let reward = env.reward(ctx, action);
+            out.push(Transition {
+                ctx,
+                action,
+                raw,
+                logp_old,
+                reward,
+                value: values[i],
+                advantage: 0.0,
+            });
+        }
+        out
+    }
+
+    /// The seed per-sample collection path: a fresh graph and a
+    /// single-row forward per rollout sample, no arena, no batching.
+    ///
+    /// Kept as the baseline the `ext_train_throughput` bench measures
+    /// [`PpoTrainer::collect`] against, and as the reference the parity
+    /// tests compare transitions with.
+    pub fn collect_reference(
+        &mut self,
+        env: &mut impl BanditEnv,
+        rng: &mut impl Rng,
+    ) -> Vec<Transition> {
         let dims = env.action_dims();
         assert_eq!(
             dims, self.cfg.action_dims,
@@ -371,11 +510,16 @@ impl PpoTrainer {
         idxs: &[usize],
     ) -> (f64, f64, f64, f64) {
         let n = idxs.len();
-        let mut g = Graph::new(&self.store);
+        let mut g = Graph::with_arena(&self.store, &self.arena);
 
-        // Batched observation: embed each loop, stack rows.
-        let samples: Vec<&PathSample> = idxs.iter().map(|&i| env.context(batch[i].ctx)).collect();
-        let obs = self.embedder.forward_batch(&mut g, &samples);
+        // Batched observation: embed each *distinct* loop once, then
+        // gather rows back out to the minibatch (contexts repeat within
+        // an iteration; gradients scatter-add through the gather, so the
+        // shared embedding still receives every row's contribution).
+        let (unique, row_of) = dedup_contexts(idxs.iter().map(|&i| batch[i].ctx));
+        let samples: Vec<&PathSample> = unique.iter().map(|&c| env.context(c)).collect();
+        let uobs = self.embedder.forward_batch(&mut g, &samples);
+        let obs = g.gather_rows(uobs, &row_of);
         let pol = self.policy.forward(&mut g, obs);
 
         let adv = g.input(Tensor::from_vec(
@@ -488,6 +632,24 @@ impl PpoTrainer {
     }
 }
 
+/// First-seen-order dedup: returns the distinct context indices and, for
+/// each input element, the position of its context in that distinct list
+/// (so batched forwards embed each context once and gather rows back
+/// out).
+fn dedup_contexts(ctxs: impl Iterator<Item = usize>) -> (Vec<usize>, Vec<usize>) {
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot: HashMap<usize, usize> = HashMap::new();
+    let row_of = ctxs
+        .map(|c| {
+            *slot.entry(c).or_insert_with(|| {
+                unique.push(c);
+                unique.len() - 1
+            })
+        })
+        .collect();
+    (unique, row_of)
+}
+
 /// `-Σ p log p` per row, as an `n × 1` node.
 fn categorical_entropy(g: &mut Graph<'_>, logits: NodeId, log_probs: NodeId) -> NodeId {
     let p = g.softmax_rows(logits);
@@ -510,10 +672,16 @@ fn argmax(xs: &[f32]) -> usize {
 
 /// Samples from a categorical given raw logits; returns `(index, logp)`.
 fn sample_categorical(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
+    sample_categorical_with(logits, rng.gen_range(0.0..1.0))
+}
+
+/// The categorical sampler as a pure function of one uniform draw, so
+/// the batched collection path can pre-draw its uniforms in per-sample
+/// order and still produce bitwise-identical actions.
+fn sample_categorical_with(logits: &[f32], mut u: f32) -> (usize, f32) {
     let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&l| (l - m).exp()).collect();
     let z: f32 = exps.iter().sum();
-    let mut u: f32 = rng.gen_range(0.0..1.0);
     for (i, &e) in exps.iter().enumerate() {
         let p = e / z;
         if u < p || i == exps.len() - 1 {
@@ -528,6 +696,12 @@ fn sample_categorical(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
 fn gaussian(rng: &mut impl Rng) -> f32 {
     let u1: f32 = rng.gen_range(1e-7..1.0);
     let u2: f32 = rng.gen_range(0.0..1.0);
+    gaussian_from(u1, u2)
+}
+
+/// Box–Muller as a pure function of its two uniform draws (`u1` must be
+/// in `(0, 1]`, as drawn by [`gaussian`]).
+fn gaussian_from(u1: f32, u2: f32) -> f32 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
 }
 
@@ -612,6 +786,86 @@ mod tests {
         }
         let trainer = PpoTrainer::new(&PpoConfig::default(), &EmbedConfig::fast(), 23);
         assert!(trainer.predict_batch(&[]).is_empty());
+    }
+
+    /// A deterministic bandit for parity checks: reward is a pure
+    /// function of (context, action).
+    struct ParityEnv {
+        contexts: Vec<PathSample>,
+    }
+
+    impl ParityEnv {
+        fn new(n: usize) -> Self {
+            let mk = |base: usize| PathSample {
+                starts: vec![base, base + 1, base + 2, base + 3],
+                paths: vec![base * 2, base * 2 + 1, base * 2 + 4, base * 2 + 5],
+                ends: vec![base + 5, base + 6, base + 7, base + 8],
+            };
+            ParityEnv {
+                contexts: (0..n).map(|i| mk(i * 6)).collect(),
+            }
+        }
+    }
+
+    impl BanditEnv for ParityEnv {
+        fn num_contexts(&self) -> usize {
+            self.contexts.len()
+        }
+
+        fn context(&self, idx: usize) -> &PathSample {
+            &self.contexts[idx]
+        }
+
+        fn action_dims(&self) -> ActionDims {
+            ActionDims { n_vf: 7, n_if: 5 }
+        }
+
+        fn reward(&mut self, idx: usize, action: (usize, usize)) -> f64 {
+            (idx as f64 * 0.17 - action.0 as f64 * 0.05 + action.1 as f64 * 0.03).sin()
+        }
+    }
+
+    /// The tentpole invariant: batched collection must produce
+    /// *bitwise-identical* transitions to the seed per-sample path under
+    /// the same RNG seed — same contexts, actions, raw samples,
+    /// log-probs, rewards, and value baselines — for every action space.
+    #[test]
+    fn batched_collect_matches_reference_bitwise() {
+        use nvc_embed::EmbedConfig;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        for kind in [
+            ActionSpaceKind::Discrete,
+            ActionSpaceKind::Continuous1D,
+            ActionSpaceKind::Continuous2D,
+        ] {
+            let cfg = PpoConfig {
+                train_batch: 37, // odd, and > contexts so draws repeat
+                hidden: vec![16, 16],
+                action_space: kind,
+                action_dims: ActionDims { n_vf: 7, n_if: 5 },
+                ..PpoConfig::default()
+            };
+            let mut trainer = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 41);
+            let mut env = ParityEnv::new(5);
+
+            let mut rng_ref = ChaCha8Rng::seed_from_u64(9);
+            let reference = trainer.collect_reference(&mut env, &mut rng_ref);
+            let mut rng_bat = ChaCha8Rng::seed_from_u64(9);
+            let batched = trainer.collect(&mut env, &mut rng_bat);
+
+            assert_eq!(reference.len(), batched.len());
+            for (i, (r, b)) in reference.iter().zip(batched.iter()).enumerate() {
+                assert_eq!(r, b, "transition {i} diverged for {kind:?}");
+            }
+            // Both paths must leave the RNG at the same stream position.
+            assert_eq!(
+                rng_ref.gen_range(0.0..1.0f64),
+                rng_bat.gen_range(0.0..1.0f64),
+                "RNG stream positions diverged for {kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct Metrics {
     pub batches: AtomicU64,
     /// Loops decided inside those forward passes.
     pub batched_loops: AtomicU64,
+    /// Misses that coalesced onto another request's in-flight decision
+    /// instead of embedding the same loop again (single-flight dedup).
+    pub dedup_waits: AtomicU64,
     /// End-to-end request latency.
     pub latency: LatencyHistogram,
 }
@@ -100,6 +103,7 @@ impl Metrics {
             loops_served: self.loops_served.load(Ordering::Relaxed),
             batches,
             batched_loops,
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -126,6 +130,8 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Loops decided inside forward passes.
     pub batched_loops: u64,
+    /// Misses coalesced onto an in-flight identical decision.
+    pub dedup_waits: u64,
     /// Average loops per forward pass.
     pub mean_batch: f64,
     /// Latency observations.

@@ -2,10 +2,14 @@
 //! [`run_daemon`] (JSON-lines loop over arbitrary reader/writer pairs —
 //! stdin/stdout in production, byte buffers in tests).
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use nvc_embed::{extract_loop_samples, LoopSite, PathSample};
 use nvc_frontend::{inject_pragmas, LoopPragma};
@@ -70,6 +74,96 @@ struct Inner {
     cache: ShardedLruCache<(usize, usize)>,
     batcher: Batcher,
     metrics: Metrics,
+    /// Single-flight registry: keys whose decision is being computed
+    /// right now, with the reply channels of every request waiting on
+    /// them. Concurrent misses on the same key coalesce onto one model
+    /// forward instead of embedding the same loop twice.
+    inflight: Mutex<HashMap<u64, Vec<Sender<(usize, usize)>>>>,
+}
+
+/// One key's resolution state between [`Inner::begin_decision`] and
+/// [`Inner::finish_decision`]. Splitting the two phases lets a request
+/// with several distinct misses submit them all before blocking, so they
+/// still coalesce into one model batch.
+enum PendingDecision {
+    /// The cache already had it.
+    Cached((usize, usize)),
+    /// This request owns the model submission for the key.
+    Leader(Receiver<(usize, usize)>),
+    /// Another request is already computing the key; wait for its reply.
+    Follower(Receiver<(usize, usize)>),
+}
+
+impl Inner {
+    /// Starts resolving `key`: cache probe, then either join the key's
+    /// in-flight computation or become its leader and submit to the
+    /// batcher.
+    fn begin_decision(&self, key: u64, sample: &PathSample) -> PendingDecision {
+        if let Some(pair) = self.cache.get(key) {
+            return PendingDecision::Cached(pair);
+        }
+        {
+            let mut inflight = self.inflight.lock();
+            if let Some(waiters) = inflight.get_mut(&key) {
+                let (tx, rx) = channel();
+                waiters.push(tx);
+                self.metrics
+                    .dedup_waits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return PendingDecision::Follower(rx);
+            }
+            inflight.insert(key, Vec::new());
+        }
+        PendingDecision::Leader(self.batcher.submit(sample.clone()))
+    }
+
+    /// Blocks until `pending` resolves. Returns the pair and whether it
+    /// came from the cache. A leader publishes its result to the cache
+    /// and every coalesced follower; if the leader fails, its followers
+    /// wake (dropped senders) and retry from the cache probe.
+    fn finish_decision(
+        &self,
+        key: u64,
+        sample: &PathSample,
+        mut pending: PendingDecision,
+    ) -> Result<((usize, usize), bool), ServeError> {
+        loop {
+            match pending {
+                PendingDecision::Cached(pair) => return Ok((pair, true)),
+                PendingDecision::Leader(rx) => {
+                    return match recv_decision(&rx) {
+                        Ok(pair) => {
+                            self.cache.insert(key, pair);
+                            let waiters = self.inflight.lock().remove(&key).unwrap_or_default();
+                            for w in waiters {
+                                // A dropped receiver (abandoned request)
+                                // is not an error.
+                                let _ = w.send(pair);
+                            }
+                            Ok((pair, false))
+                        }
+                        Err(e) => {
+                            // Wake the followers by dropping their
+                            // senders; they re-resolve from scratch.
+                            self.inflight.lock().remove(&key);
+                            Err(e)
+                        }
+                    };
+                }
+                PendingDecision::Follower(rx) => match rx.recv_timeout(DECISION_TIMEOUT) {
+                    Ok(pair) => return Ok((pair, false)),
+                    Err(RecvTimeoutError::Timeout) => return Err(ServeError::Timeout),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Our leader failed. Start over — the next
+                        // attempt hits the cache, joins a newer leader,
+                        // or becomes the leader itself (and surfaces the
+                        // underlying error if the service is down).
+                        pending = self.begin_decision(key, sample);
+                    }
+                },
+            }
+        }
+    }
 }
 
 /// A running vectorization service: worker threads + cache + metrics.
@@ -94,6 +188,7 @@ impl ServeHandle {
                 Duration::from_micros(cfg.flush_deadline_us),
             ),
             metrics: Metrics::default(),
+            inflight: Mutex::new(HashMap::new()),
             model,
         });
         let workers = (0..cfg.workers.max(1))
@@ -117,17 +212,14 @@ impl ServeHandle {
         &self.inner.space
     }
 
-    /// Decides one already-extracted sample: cache lookup, then batched
-    /// model fallback. Returns the action pair and whether it was cached.
+    /// Decides one already-extracted sample: cache lookup, then
+    /// single-flight batched model fallback (a concurrent identical miss
+    /// waits for the in-flight decision instead of embedding the loop
+    /// again). Returns the action pair and whether it was cached.
     pub fn decide_sample(&self, sample: &PathSample) -> Result<((usize, usize), bool), ServeError> {
         let key = sample_key(sample);
-        if let Some(pair) = self.inner.cache.get(key) {
-            return Ok((pair, true));
-        }
-        let rx = self.inner.batcher.submit(sample.clone());
-        let pair = recv_decision(&rx)?;
-        self.inner.cache.insert(key, pair);
-        Ok((pair, false))
+        let pending = self.inner.begin_decision(key, sample);
+        self.inner.finish_decision(key, sample, pending)
     }
 
     /// The full inference product over a source file: decide `(VF, IF)`
@@ -171,22 +263,33 @@ impl ServeHandle {
             }
         }
 
-        // Resolve each distinct key: cache first, then one batched
+        // Resolve each distinct key: cache first, then one single-flight
         // submission per miss (identical loop shapes in one file embed
-        // once).
+        // once; identical misses across concurrent requests coalesce
+        // too). All misses are submitted before any blocks, so they
+        // still share model batches.
         let mut resolved: Vec<(u64, (usize, usize), bool)> = Vec::new();
-        let mut waiting: Vec<(u64, std::sync::mpsc::Receiver<(usize, usize)>)> = Vec::new();
+        let mut waiting: Vec<(u64, &PathSample, PendingDecision)> = Vec::new();
         for (key, sample) in &by_key {
-            if let Some(pair) = self.inner.cache.get(*key) {
-                resolved.push((*key, pair, true));
-            } else {
-                waiting.push((*key, self.inner.batcher.submit((*sample).clone())));
+            match self.inner.begin_decision(*key, sample) {
+                PendingDecision::Cached(pair) => resolved.push((*key, pair, true)),
+                pending => waiting.push((*key, sample, pending)),
             }
         }
-        for (key, rx) in waiting {
-            let pair = recv_decision(&rx)?;
-            self.inner.cache.insert(key, pair);
-            resolved.push((key, pair, false));
+        // Finish every pending key even after a failure: a Leader's
+        // cleanup (removing its `inflight` registration) happens inside
+        // `finish_decision`, so abandoning the rest on the first error
+        // would leave their keys permanently marked in-flight and every
+        // future miss on them waiting for a reply that never comes.
+        let mut first_err = None;
+        for (key, sample, pending) in waiting {
+            match self.inner.finish_decision(key, sample, pending) {
+                Ok((pair, cached)) => resolved.push((key, pair, cached)),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let decision_of = |key: u64| {
             resolved
@@ -275,6 +378,7 @@ impl ServeHandle {
                 obj(vec![
                     ("batches", Json::from(m.batches)),
                     ("batched_loops", Json::from(m.batched_loops)),
+                    ("dedup_waits", Json::from(m.dedup_waits)),
                     ("mean_batch", Json::from(m.mean_batch)),
                 ]),
             ),
@@ -547,6 +651,65 @@ void f(int n) {
         assert_eq!(h.cache_stats().insertions, 1, "renamed loops share a key");
         assert_eq!(out.loops[0].vf, out.loops[1].vf);
         assert_eq!(out.loops[0].if_, out.loops[1].if_);
+    }
+
+    /// A model slow enough that a second request on the same key arrives
+    /// while the first is still in flight; counts the rows it embeds.
+    struct SlowStub {
+        embed: EmbedConfig,
+        target: TargetConfig,
+        rows_seen: std::sync::atomic::AtomicU64,
+    }
+
+    impl DecisionModel for SlowStub {
+        fn embed_config(&self) -> &EmbedConfig {
+            &self.embed
+        }
+
+        fn target(&self) -> &TargetConfig {
+            &self.target
+        }
+
+        fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+            self.rows_seen
+                .fetch_add(samples.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(300));
+            samples.iter().map(|s| (s.len() % 3, 1)).collect()
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_misses_coalesce_into_one_forward() {
+        let model = Arc::new(SlowStub {
+            embed: EmbedConfig::fast(),
+            target: TargetConfig::i7_8559u(),
+            rows_seen: std::sync::atomic::AtomicU64::new(0),
+        });
+        // Batch size 1 so each submission is its own forward: without
+        // single-flight the second request would run a second forward.
+        let h = ServeHandle::start(
+            Arc::clone(&model) as Arc<dyn DecisionModel>,
+            ServeConfig::default().with_batch_size(1).with_workers(2),
+        );
+        let sample = PathSample {
+            starts: vec![1, 2],
+            paths: vec![3, 4],
+            ends: vec![5, 6],
+        };
+        let (first, second) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| h.decide_sample(&sample).unwrap());
+            // Stagger so the leader is in flight (the model sleeps 300ms).
+            std::thread::sleep(Duration::from_millis(100));
+            let b = scope.spawn(|| h.decide_sample(&sample).unwrap());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(first.0, second.0, "coalesced requests must agree");
+        assert_eq!(
+            model.rows_seen.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "the identical concurrent miss must not embed again"
+        );
+        assert_eq!(h.metrics().dedup_waits, 1);
     }
 
     #[test]
