@@ -15,6 +15,12 @@
 //! per-sample baseline at `train_batch = 64`, and the parity invariant
 //! must hold. Results land in `BENCH_train.json`.
 //!
+//! It also isolates the **encoder**: the segmented
+//! `CodeEmbedder::forward_batch` (one ragged attention forward over the
+//! whole batch) against the per-sample-loop spelling
+//! (`forward_batch_reference`), gated at ≥ 2× with bitwise-equal values,
+//! reported to `BENCH_embed.json`.
+//!
 //! ```text
 //! cargo run --release -p nv-bench --bin ext_train_throughput
 //! ```
@@ -23,17 +29,26 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nvc_datasets::generator;
-use nvc_embed::{extract_loop_samples, EmbedConfig, PathSample};
+use nvc_embed::{extract_loop_samples, CodeEmbedder, EmbedConfig, PathSample};
+use nvc_nn::{Graph, ParamStore, TensorArena};
 use nvc_rl::{ActionDims, BanditEnv, PpoConfig, PpoTrainer};
 use nvc_serve::json::obj;
 use nvc_serve::Json;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const ACCEPTANCE_RATIO: f64 = 3.0;
+const EMBED_ACCEPTANCE_RATIO: f64 = 2.0;
+/// Floor on the *dedup-free* segmented/per-sample ratio. On a flop-bound
+/// single-core host segmentation alone is ~1× (the projection matmul
+/// dominates and its FLOPs are identical), so this is a regression
+/// guard, not a speedup gate: it keeps a segmented-kernel slowdown from
+/// hiding behind the dedup win that clears the 2× gate above.
+const EMBED_NODEDUP_FLOOR: f64 = 0.8;
 const TRAIN_BATCH: usize = 64;
 const POOL_SIZE: usize = 12;
 const REPS: usize = 5;
+const EMBED_REPS: usize = 10;
 
 /// A fixed loop pool with a cheap deterministic reward: the bench
 /// measures collection cost, so the environment must be ~free.
@@ -75,6 +90,70 @@ fn build_env() -> PoolEnv {
     contexts.truncate(POOL_SIZE);
     assert!(!contexts.is_empty(), "loop pool must not be empty");
     PoolEnv { contexts }
+}
+
+/// Encoder-only measurements over a `TRAIN_BATCH`-row ragged batch drawn
+/// (with replacement, like rollout collection) from the pool.
+struct EncoderOnly {
+    /// Batches/sec of the per-sample-loop `forward_batch_reference`.
+    per_sample_bps: f64,
+    /// Batches/sec of the deployed segmented entry (`forward_rows`:
+    /// content dedup + one segmented forward + row fan-out) — what
+    /// collection, serving and the labelling passes actually run.
+    segmented_bps: f64,
+    /// Batches/sec of the segmented forward with dedup disabled (all 64
+    /// rows embedded), isolating the segmentation itself.
+    segmented_nodedup_bps: f64,
+    /// Bitwise value parity of both segmented spellings vs the loop.
+    parity: bool,
+}
+
+fn encoder_only(env: &PoolEnv) -> EncoderOnly {
+    let cfg = EmbedConfig::paper();
+    let mut store = ParamStore::new(7);
+    let embedder = CodeEmbedder::new(&mut store, &cfg);
+    let arena = TensorArena::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let samples: Vec<&PathSample> = (0..TRAIN_BATCH)
+        .map(|_| &env.contexts[rng.gen_range(0..env.contexts.len())])
+        .collect();
+
+    // Parity (and warmup): both segmented spellings must equal the
+    // per-sample loop bitwise, row for row.
+    let parity = {
+        let mut g = Graph::with_arena(&store, &arena);
+        let a = embedder.forward_batch_reference(&mut g, &samples).unwrap();
+        let b = embedder.forward_batch(&mut g, &samples).unwrap();
+        let c = embedder.forward_rows(&mut g, &samples).unwrap();
+        g.value(a) == g.value(b) && g.value(a) == g.value(c)
+    };
+
+    let time = |run: &dyn Fn(&mut Graph<'_>) -> f32| {
+        let t0 = Instant::now();
+        for _ in 0..EMBED_REPS {
+            let mut g = Graph::with_arena(&store, &arena);
+            std::hint::black_box(run(&mut g));
+        }
+        EMBED_REPS as f64 / t0.elapsed().as_secs_f64()
+    };
+    let per_sample_bps = time(&|g| {
+        let n = embedder.forward_batch_reference(g, &samples).unwrap();
+        g.value(n).data()[0]
+    });
+    let segmented_bps = time(&|g| {
+        let n = embedder.forward_rows(g, &samples).unwrap();
+        g.value(n).data()[0]
+    });
+    let segmented_nodedup_bps = time(&|g| {
+        let n = embedder.forward_batch(g, &samples).unwrap();
+        g.value(n).data()[0]
+    });
+    EncoderOnly {
+        per_sample_bps,
+        segmented_bps,
+        segmented_nodedup_bps,
+        parity,
+    }
 }
 
 fn main() -> ExitCode {
@@ -127,6 +206,65 @@ fn main() -> ExitCode {
     let pass = parity && ratio >= ACCEPTANCE_RATIO;
     println!("\nbatched/per-sample speedup: {ratio:.1}x (acceptance: >= {ACCEPTANCE_RATIO:.0}x)");
 
+    // Encoder-only gate: the deployed segmented entry (content dedup +
+    // one ragged segmented forward + row fan-out) vs the per-sample
+    // loop, over a collection-style batch. The no-dedup segmented ratio
+    // is reported alongside so the two effects stay distinguishable.
+    let embed = encoder_only(&env);
+    let embed_ratio = embed.segmented_bps / embed.per_sample_bps;
+    let embed_nodedup_ratio = embed.segmented_nodedup_bps / embed.per_sample_bps;
+    let embed_pass = embed.parity
+        && embed_ratio >= EMBED_ACCEPTANCE_RATIO
+        && embed_nodedup_ratio >= EMBED_NODEDUP_FLOOR;
+    println!("\n== encoder only (batch={TRAIN_BATCH}, paper-size encoder) ==");
+    println!("{:<34} {:>16}", "path", "batches/s");
+    println!(
+        "{:<34} {:>16.1}",
+        "per-sample loop (reference)", embed.per_sample_bps
+    );
+    println!(
+        "{:<34} {:>16.1}",
+        "segmented (dedup + fan-out)", embed.segmented_bps
+    );
+    println!(
+        "{:<34} {:>16.1}",
+        "segmented (no dedup)", embed.segmented_nodedup_bps
+    );
+    println!(
+        "encoder parity (bitwise values): {}",
+        if embed.parity { "ok" } else { "MISMATCH" }
+    );
+    println!(
+        "segmented/per-sample encoder speedup: {embed_ratio:.1}x (acceptance: >= {EMBED_ACCEPTANCE_RATIO:.0}x); \
+         no-dedup: {embed_nodedup_ratio:.2}x (regression floor: >= {EMBED_NODEDUP_FLOOR:.1}x)"
+    );
+
+    let embed_report = obj(vec![
+        ("bench", Json::from("ext_train_throughput/encoder")),
+        ("train_batch", Json::from(TRAIN_BATCH)),
+        ("pool_loops", Json::from(env.contexts.len())),
+        ("reps", Json::from(EMBED_REPS)),
+        (
+            "per_sample_batches_per_sec",
+            Json::from(embed.per_sample_bps),
+        ),
+        ("segmented_batches_per_sec", Json::from(embed.segmented_bps)),
+        (
+            "segmented_nodedup_batches_per_sec",
+            Json::from(embed.segmented_nodedup_bps),
+        ),
+        ("speedup", Json::from(embed_ratio)),
+        ("nodedup_speedup", Json::from(embed_nodedup_ratio)),
+        ("acceptance_ratio", Json::from(EMBED_ACCEPTANCE_RATIO)),
+        ("nodedup_floor", Json::from(EMBED_NODEDUP_FLOOR)),
+        ("parity", Json::from(embed.parity)),
+        ("pass", Json::from(embed_pass)),
+    ]);
+    match std::fs::write("BENCH_embed.json", embed_report.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_embed.json"),
+        Err(e) => eprintln!("could not write BENCH_embed.json: {e}"),
+    }
+
     let report = obj(vec![
         ("bench", Json::from("ext_train_throughput")),
         ("train_batch", Json::from(TRAIN_BATCH)),
@@ -144,7 +282,7 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("could not write BENCH_train.json: {e}"),
     }
 
-    if pass {
+    if pass && embed_pass {
         println!("PASS");
         ExitCode::SUCCESS
     } else {

@@ -130,6 +130,16 @@ impl NeuroVectorizer {
         self.trainer.embedder().encode(self.trainer.store(), sample)
     }
 
+    /// Embeds a whole batch of loop samples in **one** segmented encoder
+    /// forward — the entry point the NNS/decision-tree/ranker labelling
+    /// passes share with training and serving. Row `i` equals
+    /// [`NeuroVectorizer::encode`] of `samples[i]` bitwise.
+    pub fn encode_batch(&self, samples: &[&PathSample]) -> Vec<Vec<f32>> {
+        self.trainer
+            .embedder()
+            .encode_batch(self.trainer.store(), samples)
+    }
+
     /// Serializes all trained weights (embedding + policy) to the
     /// `nvc-nn` checkpoint format.
     pub fn checkpoint(&self) -> String {
@@ -289,6 +299,28 @@ void f(int n) {
         cfg_small.ppo.hidden = vec![16, 16];
         let mut nv_small = NeuroVectorizer::new(cfg_small);
         assert!(nv_small.restore(&ckpt).is_err());
+    }
+
+    #[test]
+    fn encode_batch_matches_per_sample_encode() {
+        let cfg = NvConfig::fast();
+        let env = VectorizeEnv::new(generator::generate(3, 10), cfg.target.clone(), &cfg.embed);
+        let nv = NeuroVectorizer::new(cfg);
+        let samples: Vec<&nvc_embed::PathSample> =
+            env.contexts().iter().map(|c| &c.sample).collect();
+        let batched = nv.encode_batch(&samples);
+        assert_eq!(batched.len(), samples.len());
+        for (s, row) in samples.iter().zip(batched.iter()) {
+            assert_eq!(row, &nv.encode(s), "batched embedding diverged");
+        }
+    }
+
+    /// The serve flush site's contract: an empty batch is answered with
+    /// an empty decision list, never a panic in a daemon worker.
+    #[test]
+    fn decide_batch_of_nothing_is_empty_not_a_panic() {
+        let nv = NeuroVectorizer::new(NvConfig::fast());
+        assert!(nv.decide_batch(&[]).is_empty());
     }
 
     #[test]

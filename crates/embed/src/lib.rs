@@ -16,14 +16,19 @@
 //! * [`model`] — the attention encoder: per path-context
 //!   `c_i = tanh(W · [e_start; e_path; e_end])`, attention weights
 //!   `α = softmax(c · a)`, code vector `v = Σ α_i c_i`, trained end-to-end
-//!   through `nvc-nn`.
+//!   through `nvc-nn`. Batches of loops run as **one segmented forward**
+//!   ([`CodeEmbedder::forward_batch`]): ragged context counts become a
+//!   `Segments` row partition, so training, serving and the supervised
+//!   agents all share a single ragged attention reduce instead of a
+//!   per-sample encoder loop — bitwise-identical to the per-sample
+//!   spelling, values and gradients both.
 
 pub mod model;
 pub mod paths;
 pub mod sites;
 pub mod vocab;
 
-pub use model::{CodeEmbedder, EmbedConfig};
+pub use model::{CodeEmbedder, EmbedConfig, EmbedError};
 pub use paths::{extract_path_contexts, normalize_terminals, PathContext};
 pub use sites::{extract_loop_samples, LoopSite};
 pub use vocab::{hash_token, Fnv1a, PathSample};

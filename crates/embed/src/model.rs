@@ -1,10 +1,31 @@
 //! The attention-based code encoder (code2vec's network half).
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
-use nvc_nn::{Graph, NodeId, ParamId, ParamStore, Tensor};
+use nvc_nn::{Graph, NodeId, ParamId, ParamStore, Segments, Tensor};
 
 use crate::vocab::PathSample;
+
+/// Errors surfaced by the encoder's batched entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedError {
+    /// [`CodeEmbedder::forward_batch`] was handed an empty sample slice.
+    /// Batched callers (the serve flush loop, rollout collection) must
+    /// skip empty flushes instead of crashing a worker on this.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::EmptyBatch => write!(f, "forward_batch needs at least one sample"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
 
 /// Hyperparameters of the embedding network.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,20 +166,147 @@ impl CodeEmbedder {
     }
 
     /// Encodes a batch of samples into one `n × code_dim` node (row `i`
-    /// is exactly [`CodeEmbedder::forward`] of `samples[i]`). Batched
-    /// consumers (PPO rollout collection and minibatches, the serving
-    /// layer) stack here and run downstream networks once over all rows.
-    pub fn forward_batch(&self, g: &mut Graph<'_>, samples: &[&PathSample]) -> NodeId {
-        assert!(
-            !samples.is_empty(),
-            "forward_batch needs at least one sample"
-        );
+    /// is exactly [`CodeEmbedder::forward`] of `samples[i]`, bitwise).
+    /// Batched consumers (PPO rollout collection and minibatches, the
+    /// serving layer's flush batches, the NNS/ranker labelling passes)
+    /// stack here and run downstream networks once over all rows.
+    ///
+    /// Context counts are ragged, so the batch runs as a **segmented**
+    /// forward rather than a per-sample loop: every sample's token rows
+    /// are pulled in one [`Graph::gather_param_rows`] (interleaved
+    /// per-sample so table gradients scatter in the per-sample order),
+    /// the whole concatenated context matrix goes through one projection
+    /// + `tanh`, and attention is one `segment_softmax_rows` +
+    /// `segment_weighted_sum` over a [`Segments`] row partition. The
+    /// segment kernels fix their reduction order per segment, so values
+    /// *and* parameter gradients stay bitwise-identical to the
+    /// per-sample spelling ([`CodeEmbedder::forward_batch_reference`],
+    /// enforced by parity tests).
+    ///
+    /// Empty samples embed to zero rows, exactly as in [`forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::EmptyBatch`] when `samples` is empty (a
+    /// zero-row observation matrix has no meaning downstream).
+    ///
+    /// [`forward`]: CodeEmbedder::forward
+    pub fn forward_batch(
+        &self,
+        g: &mut Graph<'_>,
+        samples: &[&PathSample],
+    ) -> Result<NodeId, EmbedError> {
+        if samples.is_empty() {
+            return Err(EmbedError::EmptyBatch);
+        }
+        let segs = Segments::from_lens(samples.iter().map(|s| s.len()));
+        let total = segs.total_rows();
+        if total == 0 {
+            // All samples empty: the whole batch embeds to zero and no
+            // parameter is touched (mirrors `forward`'s empty case).
+            return Ok(g.input(Tensor::zeros(samples.len(), self.cfg.code_dim)));
+        }
+
+        // One token gather for starts AND ends, interleaved per sample
+        // (sample 0 starts, sample 0 ends, sample 1 starts, …): this is
+        // the exact order the per-sample tape scatters token-table
+        // gradients in, which keeps repeated table rows bitwise-identical
+        // under f32 accumulation. Paths go in one gather of their own.
+        let mut tok_idx = Vec::with_capacity(2 * total);
+        let mut path_idx = Vec::with_capacity(total);
+        let mut start_rows = Vec::with_capacity(total);
+        let mut end_rows = Vec::with_capacity(total);
+        for s in samples {
+            let base = tok_idx.len();
+            let n = s.len();
+            tok_idx.extend_from_slice(&s.starts);
+            tok_idx.extend_from_slice(&s.ends);
+            path_idx.extend_from_slice(&s.paths);
+            start_rows.extend(base..base + n);
+            end_rows.extend(base + n..base + 2 * n);
+        }
+
+        let w = g.param(self.w_context);
+        let attn = g.param(self.attention);
+        let tok = g.gather_param_rows(self.token_table, &tok_idx); // 2N × dt
+        let mids = g.gather_param_rows(self.path_table, &path_idx); // N × dp
+        let starts = g.gather_rows(tok, &start_rows); // N × dt
+        let ends = g.gather_rows(tok, &end_rows); // N × dt
+        let ctx = g.concat_cols(&[starts, mids, ends]); // N × (2dt+dp)
+        let proj = g.segment_matmul(ctx, w, &segs); // N × code
+        let c = g.tanh(proj);
+        let scores = g.segment_matmul(c, attn, &segs); // N × 1
+        let alpha = g.segment_softmax_rows(scores, &segs); // N × 1
+        Ok(g.segment_weighted_sum(alpha, c, &segs)) // n × code
+    }
+
+    /// Encodes one row per input sample — the deployed batched entry
+    /// point rollout collection, batched greedy inference, and the
+    /// supervised labelling passes share. Distinct samples (content
+    /// equality) embed **once** through the segmented
+    /// [`CodeEmbedder::forward_batch`] and a row gather fans the
+    /// embeddings back out to their batch positions: a rollout or flush
+    /// batch full of repeated loop shapes pays for each shape once.
+    ///
+    /// Row `i`'s value is bitwise-identical to
+    /// [`CodeEmbedder::forward`] of `rows[i]`. Gradients flow through
+    /// the gather, so repeated rows scatter-add into one embedding chain
+    /// — the same gradient-carrying-gather contract the PPO minibatch
+    /// dedup established.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::EmptyBatch`] when `rows` is empty.
+    pub fn forward_rows(
+        &self,
+        g: &mut Graph<'_>,
+        rows: &[&PathSample],
+    ) -> Result<NodeId, EmbedError> {
+        if rows.is_empty() {
+            return Err(EmbedError::EmptyBatch);
+        }
+        let mut unique: Vec<&PathSample> = Vec::new();
+        let mut slot: HashMap<&PathSample, usize> = HashMap::new();
+        let row_of: Vec<usize> = rows
+            .iter()
+            .map(|&s| {
+                *slot.entry(s).or_insert_with(|| {
+                    unique.push(s);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let uobs = self.forward_batch(g, &unique)?;
+        if unique.len() == rows.len() {
+            // Nothing repeated: the stacked node already is the answer.
+            return Ok(uobs);
+        }
+        Ok(g.gather_rows(uobs, &row_of))
+    }
+
+    /// The per-sample spelling of [`CodeEmbedder::forward_batch`]: one
+    /// [`CodeEmbedder::forward`] chain per sample, stacked with
+    /// `concat_rows`. Kept as the parity reference the segmented path is
+    /// tested against (values and gradients, bitwise) and as the baseline
+    /// the `ext_train_throughput` encoder gate measures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::EmptyBatch`] when `samples` is empty.
+    pub fn forward_batch_reference(
+        &self,
+        g: &mut Graph<'_>,
+        samples: &[&PathSample],
+    ) -> Result<NodeId, EmbedError> {
+        if samples.is_empty() {
+            return Err(EmbedError::EmptyBatch);
+        }
         let rows: Vec<NodeId> = samples.iter().map(|s| self.forward(g, s)).collect();
-        if rows.len() == 1 {
+        Ok(if rows.len() == 1 {
             rows[0]
         } else {
             g.concat_rows(&rows)
-        }
+        })
     }
 
     /// Convenience: encodes a sample and returns the plain vector (no
@@ -169,6 +317,21 @@ impl CodeEmbedder {
         let node = self.forward(&mut g, sample);
         g.value(node).data().to_vec()
     }
+
+    /// Encodes a whole batch in one segmented forward (no gradients) —
+    /// the batched counterpart of [`CodeEmbedder::encode`] that the
+    /// NNS/decision-tree/ranker labelling passes use instead of looping
+    /// `encode` per sample. Row `i` equals `encode(samples[i])` bitwise;
+    /// repeated samples embed once ([`CodeEmbedder::forward_rows`]).
+    pub fn encode_batch(&self, store: &ParamStore, samples: &[&PathSample]) -> Vec<Vec<f32>> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new(store);
+        let node = self.forward_rows(&mut g, samples).expect("non-empty batch");
+        let v = g.value(node);
+        (0..samples.len()).map(|r| v.row(r).to_vec()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -176,10 +339,48 @@ mod tests {
     use super::*;
     use crate::paths::extract_path_contexts;
     use nvc_frontend::parse_statement;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
 
     fn sample(src: &str, cfg: &EmbedConfig) -> PathSample {
         let stmt = parse_statement(src).unwrap();
         PathSample::from_contexts(&extract_path_contexts(&stmt, cfg.max_paths), cfg)
+    }
+
+    /// A synthetic sample with `n` contexts drawn from `rng`. Small table
+    /// sizes (the fast config) make repeated indices — the case where
+    /// scatter-order bugs would surface — common.
+    fn random_sample(n: usize, cfg: &EmbedConfig, rng: &mut ChaCha8Rng) -> PathSample {
+        PathSample {
+            starts: (0..n)
+                .map(|_| rng.gen_range(0..cfg.token_buckets))
+                .collect(),
+            paths: (0..n).map(|_| rng.gen_range(0..cfg.path_buckets)).collect(),
+            ends: (0..n)
+                .map(|_| rng.gen_range(0..cfg.token_buckets))
+                .collect(),
+        }
+    }
+
+    /// Runs a full forward + backward of `samples` through `build`,
+    /// returning the stacked values and all parameter gradients. The loss
+    /// (`Σ out ⊙ sel` for a fixed random `sel`) makes every output row
+    /// contribute a distinct gradient.
+    #[allow(clippy::type_complexity)]
+    fn values_and_grads(
+        store: &ParamStore,
+        samples: &[&PathSample],
+        sel: &Tensor,
+        build: impl Fn(&mut Graph<'_>, &[&PathSample]) -> NodeId,
+    ) -> (Tensor, std::collections::HashMap<ParamId, Tensor>) {
+        let mut g = Graph::new(store);
+        let out = build(&mut g, samples);
+        let seln = g.input(sel.clone());
+        let prod = g.mul_elem(out, seln);
+        let loss = g.sum_all(prod);
+        g.backward(loss);
+        (g.value(out).clone(), g.param_grads())
     }
 
     #[test]
@@ -234,6 +435,165 @@ mod tests {
             .map(|(a, b)| (a - b) * (a - b))
             .sum();
         assert!(dist > 1e-6, "different loops should embed differently");
+    }
+
+    #[test]
+    fn forward_batch_on_empty_slice_is_an_error_not_a_panic() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let mut g = Graph::new(&store);
+        assert_eq!(e.forward_batch(&mut g, &[]), Err(EmbedError::EmptyBatch));
+        assert_eq!(
+            e.forward_batch_reference(&mut g, &[]),
+            Err(EmbedError::EmptyBatch)
+        );
+        assert!(e.encode_batch(&store, &[]).is_empty());
+        assert_eq!(
+            EmbedError::EmptyBatch.to_string(),
+            "forward_batch needs at least one sample"
+        );
+    }
+
+    #[test]
+    fn all_empty_batch_embeds_to_zero_rows() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(5);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let empty = PathSample {
+            starts: vec![],
+            paths: vec![],
+            ends: vec![],
+        };
+        let mut g = Graph::new(&store);
+        let out = e.forward_batch(&mut g, &[&empty, &empty]).unwrap();
+        assert_eq!(g.value(out).shape(), (2, cfg.code_dim));
+        assert!(g.value(out).data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn encode_batch_rows_match_encode() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(7);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut samples: Vec<PathSample> = [4usize, 1, 0, 11]
+            .iter()
+            .map(|&n| random_sample(n, &cfg, &mut rng))
+            .collect();
+        // A repeated shape exercises the dedup + fan-out path.
+        samples.push(samples[0].clone());
+        let refs: Vec<&PathSample> = samples.iter().collect();
+        let batched = e.encode_batch(&store, &refs);
+        for (s, row) in samples.iter().zip(batched.iter()) {
+            assert_eq!(row, &e.encode(&store, s), "encode_batch row diverged");
+        }
+    }
+
+    /// The tentpole invariant at the encoder level: the segmented batched
+    /// forward must be bitwise-identical to the per-sample reference —
+    /// stacked values AND the gradients of all four parameters (both
+    /// embedding tables, the projection, the attention vector) — across
+    /// ragged context counts including empty, single-context and
+    /// max-width samples.
+    #[test]
+    fn segmented_forward_batch_matches_reference_bitwise() {
+        let cfg = EmbedConfig::fast();
+        let mut store = ParamStore::new(13);
+        let e = CodeEmbedder::new(&mut store, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for lens in [
+            vec![3usize, 7, 1],
+            vec![1],
+            vec![cfg.max_paths, 1, cfg.max_paths],
+            vec![5, 0, 2, 0, 9],
+        ] {
+            let samples: Vec<PathSample> = lens
+                .iter()
+                .map(|&n| random_sample(n, &cfg, &mut rng))
+                .collect();
+            let refs: Vec<&PathSample> = samples.iter().collect();
+            let sel = Tensor::from_vec(
+                refs.len(),
+                cfg.code_dim,
+                (0..refs.len() * cfg.code_dim)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
+            );
+            let (ref_vals, ref_grads) = values_and_grads(&store, &refs, &sel, |g, ss| {
+                e.forward_batch_reference(g, ss).unwrap()
+            });
+            let (seg_vals, seg_grads) =
+                values_and_grads(&store, &refs, &sel, |g, ss| g_forward(&e, g, ss));
+            assert_eq!(ref_vals, seg_vals, "values diverged for lens {lens:?}");
+            for (name, p) in [
+                ("token table", e.token_table()),
+                ("path table", e.path_table()),
+                ("projection", e.context_weight()),
+                ("attention", e.attention_vector()),
+            ] {
+                assert_eq!(
+                    ref_grads.get(&p),
+                    seg_grads.get(&p),
+                    "{name} gradient diverged for lens {lens:?}"
+                );
+            }
+        }
+    }
+
+    fn g_forward(e: &CodeEmbedder, g: &mut Graph<'_>, ss: &[&PathSample]) -> NodeId {
+        e.forward_batch(g, ss).unwrap()
+    }
+
+    proptest! {
+        /// Property form of the parity bar: arbitrary ragged batches
+        /// (lengths 0..=max_paths, duplicate indices likely) are
+        /// bitwise-identical between the segmented and per-sample
+        /// spellings — values and all parameter gradients.
+        #[test]
+        fn prop_segmented_encode_is_bitwise_identical(
+            n_samples in 1usize..6,
+            shape_seed in 0u64..10_000,
+        ) {
+            let cfg = EmbedConfig::fast();
+            let mut store = ParamStore::new(23);
+            let e = CodeEmbedder::new(&mut store, &cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(shape_seed);
+            let samples: Vec<PathSample> = (0..n_samples)
+                .map(|i| {
+                    // Force the edge widths into the mix: a 1-context
+                    // sample and a max-width sample appear regularly.
+                    let n = match (shape_seed as usize + i) % 5 {
+                        0 => 1,
+                        1 => cfg.max_paths,
+                        _ => rng.gen_range(0..=cfg.max_paths),
+                    };
+                    random_sample(n, &cfg, &mut rng)
+                })
+                .collect();
+            let refs: Vec<&PathSample> = samples.iter().collect();
+            let sel = Tensor::from_vec(
+                refs.len(),
+                cfg.code_dim,
+                (0..refs.len() * cfg.code_dim)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
+            );
+            let (ref_vals, ref_grads) = values_and_grads(&store, &refs, &sel, |g, ss| {
+                e.forward_batch_reference(g, ss).unwrap()
+            });
+            let (seg_vals, seg_grads) =
+                values_and_grads(&store, &refs, &sel, |g, ss| g_forward(&e, g, ss));
+            prop_assert_eq!(ref_vals, seg_vals);
+            for p in [
+                e.token_table(),
+                e.path_table(),
+                e.context_weight(),
+                e.attention_vector(),
+            ] {
+                prop_assert_eq!(ref_grads.get(&p), seg_grads.get(&p));
+            }
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn hash_token(s: &str) -> u64 {
 }
 
 /// A loop rendered as vocabulary indices, ready for the embedding network.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PathSample {
     /// Start-terminal rows into the token table.
     pub starts: Vec<usize>,

@@ -29,6 +29,62 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
 
+/// Row partition of a stacked (ragged-batch) matrix: segment `s` owns the
+/// contiguous row range `[offsets[s], offsets[s+1])`. Shared by the
+/// forward and backward kernels of the segment ops
+/// ([`Graph::segment_matmul`], [`Graph::segment_softmax_rows`],
+/// [`Graph::segment_weighted_sum`]) so both sides agree on reduction
+/// boundaries — the property that keeps a segmented batched forward
+/// bitwise-identical to the per-sample spelling it replaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segments {
+    /// `len() + 1` monotonically non-decreasing row offsets, starting at 0.
+    offsets: Vec<usize>,
+}
+
+impl Segments {
+    /// Builds a partition from per-segment row counts (zero-row segments
+    /// are allowed — they stand for empty samples).
+    pub fn from_lens(lens: impl IntoIterator<Item = usize>) -> Self {
+        let mut offsets = vec![0usize];
+        let mut total = 0usize;
+        for l in lens {
+            total += l;
+            offsets.push(total);
+        }
+        Segments { offsets }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the partition has no segments at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stacked rows covered (`offsets.last()`).
+    pub fn total_rows(&self) -> usize {
+        *self.offsets.last().expect("offsets is never empty")
+    }
+
+    /// Row bounds `[start, end)` of segment `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= len()`.
+    pub fn bounds(&self, s: usize) -> (usize, usize) {
+        (self.offsets[s], self.offsets[s + 1])
+    }
+
+    /// Iterates `(start, end)` bounds in segment order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (usize, usize)> + '_ {
+        self.offsets.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
 #[derive(Debug, Clone)]
 #[allow(dead_code)] // constant operands are kept for Debug output even where backward ignores them
 enum Op {
@@ -37,6 +93,14 @@ enum Op {
     /// Rows of a parameter table gathered without materializing the table.
     GatherParamRows(ParamId, Vec<usize>),
     MatMul(NodeId, NodeId),
+    /// Matmul over a segmented (ragged-batch) left operand: forward is a
+    /// plain stacked matmul, backward reduces `db` per segment in reverse
+    /// segment order (the per-sample tape's accumulation order).
+    SegmentMatMul(NodeId, NodeId, Segments),
+    /// Softmax down the rows of each segment, per column.
+    SegmentSoftmaxRows(NodeId, Segments),
+    /// Attention pool: per-segment weighted sum of value rows.
+    SegmentWeightedSum(NodeId, NodeId, Segments),
     /// Fused `x·W + b` (bias row-broadcast), one node and one output.
     Linear(NodeId, NodeId, NodeId),
     AddRowBroadcast(NodeId, NodeId),
@@ -165,6 +229,121 @@ impl<'s> Graph<'s> {
         let mut out = self.alloc(rows, cols);
         self.values[a.0].matmul_accum_into(&self.values[b.0], &mut out);
         self.push(Op::MatMul(a, b), out)
+    }
+
+    /// Matrix product of a stacked ragged batch `a` (rows partitioned by
+    /// `segs`) with a shared right operand `b`.
+    ///
+    /// The forward value is bitwise-identical to [`Graph::matmul`] (each
+    /// output row depends only on its own input row), and so is `da`. The
+    /// difference is `db`: a plain stacked matmul would reduce `aᵀ·g` in
+    /// one ascending chain over all rows, while the per-sample spelling
+    /// this op replaces accumulates one partial per sample, combined in
+    /// reverse tape order. This backward computes exactly those
+    /// per-segment partials and combines them in reverse segment order,
+    /// which is what keeps segmented batched gradients bitwise-identical
+    /// to the per-sample reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or when `segs` does not cover
+    /// `a`'s rows exactly.
+    pub fn segment_matmul(&mut self, a: NodeId, b: NodeId, segs: &Segments) -> NodeId {
+        assert_eq!(
+            self.values[a.0].rows(),
+            segs.total_rows(),
+            "segment_matmul: segments must cover the left operand's rows"
+        );
+        let rows = self.values[a.0].rows();
+        let cols = self.values[b.0].cols();
+        let mut out = self.alloc(rows, cols);
+        self.values[a.0].matmul_accum_into(&self.values[b.0], &mut out);
+        self.push(Op::SegmentMatMul(a, b, segs.clone()), out)
+    }
+
+    /// Softmax down the rows of each segment, independently per column —
+    /// the ragged-batch form of "softmax over each sample's score
+    /// vector". For an `n×1` score column this computes, per segment,
+    /// exactly what [`Graph::softmax_rows`] computes on the transposed
+    /// `1×n` row (same max/exp/sum order), so values and gradients match
+    /// the per-sample `transpose → softmax_rows` spelling bitwise.
+    ///
+    /// Zero-row segments are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `segs` does not cover `a`'s rows exactly.
+    pub fn segment_softmax_rows(&mut self, a: NodeId, segs: &Segments) -> NodeId {
+        let av = &self.values[a.0];
+        assert_eq!(
+            av.rows(),
+            segs.total_rows(),
+            "segment_softmax_rows: segments must cover the input's rows"
+        );
+        let cols = av.cols();
+        let mut out = self.dup(av);
+        for (r0, r1) in segs.iter() {
+            if r0 == r1 {
+                continue;
+            }
+            for c in 0..cols {
+                let m = (r0..r1).fold(f32::NEG_INFINITY, |m, r| m.max(out[(r, c)]));
+                let mut sum = 0.0f32;
+                for r in r0..r1 {
+                    let e = (out[(r, c)] - m).exp();
+                    out[(r, c)] = e;
+                    sum += e;
+                }
+                for r in r0..r1 {
+                    out[(r, c)] /= sum;
+                }
+            }
+        }
+        self.push(Op::SegmentSoftmaxRows(a, segs.clone()), out)
+    }
+
+    /// Attention pool over a stacked ragged batch: row `s` of the output
+    /// is `Σ_r weights[r] · values[r]` over segment `s`'s rows, i.e. the
+    /// per-segment `α · C` product, accumulated in ascending row order —
+    /// bitwise-identical to the per-sample `1×n × n×d` matmul.
+    ///
+    /// Zero-row segments produce zero rows (empty samples embed to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weights` is a `total_rows × 1` column and `values`
+    /// has `total_rows` rows.
+    pub fn segment_weighted_sum(
+        &mut self,
+        weights: NodeId,
+        values: NodeId,
+        segs: &Segments,
+    ) -> NodeId {
+        let (wv, vv) = (&self.values[weights.0], &self.values[values.0]);
+        assert_eq!(wv.cols(), 1, "weights must be a column vector");
+        assert_eq!(
+            wv.rows(),
+            segs.total_rows(),
+            "segment_weighted_sum: segments must cover the weight rows"
+        );
+        assert_eq!(
+            vv.rows(),
+            segs.total_rows(),
+            "segment_weighted_sum: segments must cover the value rows"
+        );
+        let d = vv.cols();
+        let mut out = self.alloc(segs.len(), d);
+        for (s, (r0, r1)) in segs.iter().enumerate() {
+            let orow = &mut out.data_mut()[s * d..(s + 1) * d];
+            for r in r0..r1 {
+                let a = wv.data()[r];
+                let vrow = &vv.data()[r * d..(r + 1) * d];
+                for (o, &x) in orow.iter_mut().zip(vrow.iter()) {
+                    *o += a * x;
+                }
+            }
+        }
+        self.push(Op::SegmentWeightedSum(weights, values, segs.clone()), out)
     }
 
     /// Fused affine map `x·W + b` where `b` is a `1×d` bias row added to
@@ -484,6 +663,77 @@ impl<'s> Graph<'s> {
                     self.accum(a, da);
                     self.accum(b, db);
                 }
+                Op::SegmentMatMul(a, b, segs) => {
+                    // da is row-independent — identical to MatMul.
+                    let mut da = self.alloc(g.rows(), self.values[a.0].cols());
+                    g.matmul_nt_accum_into(&self.values[b.0], &mut da);
+                    // db: one `aᵀ·g` partial per segment, combined in
+                    // reverse segment order — the order the per-sample
+                    // tape's reverse walk accumulates its per-sample
+                    // partials in. Empty segments contribute nothing
+                    // (empty samples create no ops in the reference).
+                    let (bk, bn) = self.values[b.0].shape();
+                    let mut db = self.alloc(bk, bn);
+                    {
+                        let av = &self.values[a.0];
+                        for (r0, r1) in segs.iter().rev() {
+                            if r0 == r1 {
+                                continue;
+                            }
+                            let mut partial = self.alloc(bk, bn);
+                            matmul_tn_rows_accum_into(av, &g, r0, r1, &mut partial);
+                            db.add_scaled(&partial, 1.0);
+                            if let Some(arena) = self.arena {
+                                arena.recycle(partial);
+                            }
+                        }
+                    }
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::SegmentSoftmaxRows(a, segs) => {
+                    let y = &self.values[i];
+                    let cols = y.cols();
+                    let mut da = self.alloc(y.rows(), cols);
+                    for (r0, r1) in segs.iter() {
+                        for c in 0..cols {
+                            let dot: f32 = (r0..r1).map(|r| g[(r, c)] * y[(r, c)]).sum();
+                            for r in r0..r1 {
+                                da[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                            }
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::SegmentWeightedSum(w, v, segs) => {
+                    // dw[r] = g[s]·v[r] (ascending-column dot, matching
+                    // matmul_nt); dv[r] = w[r]·g[s] (single product,
+                    // matching matmul_tn with one shared row).
+                    let d = self.values[v.0].cols();
+                    let mut dw = self.alloc(self.values[w.0].rows(), 1);
+                    let mut dv = self.alloc(self.values[v.0].rows(), d);
+                    {
+                        let (wv, vv) = (&self.values[w.0], &self.values[v.0]);
+                        for (s, (r0, r1)) in segs.iter().enumerate() {
+                            let grow = &g.data()[s * d..(s + 1) * d];
+                            for r in r0..r1 {
+                                let vrow = &vv.data()[r * d..(r + 1) * d];
+                                let mut acc = 0.0f32;
+                                for (&gx, &vx) in grow.iter().zip(vrow.iter()) {
+                                    acc += gx * vx;
+                                }
+                                dw.data_mut()[r] = acc;
+                                let a = wv.data()[r];
+                                let dvrow = &mut dv.data_mut()[r * d..(r + 1) * d];
+                                for (o, &gx) in dvrow.iter_mut().zip(grow.iter()) {
+                                    *o = a * gx;
+                                }
+                            }
+                        }
+                    }
+                    self.accum(w, dw);
+                    self.accum(v, dv);
+                }
                 Op::Linear(x, w, b) => {
                     let mut dx = self.alloc(g.rows(), self.values[x.0].cols());
                     g.matmul_nt_accum_into(&self.values[w.0], &mut dx);
@@ -755,6 +1005,25 @@ fn colsum(g_ref: &Graph<'_>, g: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// `a[r0..r1]ᵀ × g[r0..r1]` accumulated into `out` — the row-windowed
+/// form of [`Tensor::matmul_tn_accum_into`], with the identical
+/// ascending-row accumulation order (so a per-segment partial matches
+/// the per-sample `xᵀ·g` bitwise).
+fn matmul_tn_rows_accum_into(a: &Tensor, g: &Tensor, r0: usize, r1: usize, out: &mut Tensor) {
+    let (m, n) = (a.cols(), g.cols());
+    debug_assert_eq!(out.shape(), (m, n));
+    for k in r0..r1 {
+        let a_row = &a.data()[k * m..(k + 1) * m];
+        let g_row = &g.data()[k * n..(k + 1) * n];
+        for (i, &x) in a_row.iter().enumerate() {
+            let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
+            for (o, &gg) in out_row.iter_mut().zip(g_row.iter()) {
+                *o += x * gg;
+            }
+        }
+    }
 }
 
 fn gather_into(table: &Tensor, indices: &[usize], out: &mut Tensor) {
@@ -1058,6 +1327,210 @@ mod tests {
             stats.reused > 0,
             "second arena tape must reuse buffers: {stats:?}"
         );
+    }
+
+    #[test]
+    fn segments_partition_rows() {
+        let segs = Segments::from_lens([3, 0, 2]);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.total_rows(), 5);
+        assert_eq!(segs.bounds(0), (0, 3));
+        assert_eq!(segs.bounds(1), (3, 3));
+        assert_eq!(segs.bounds(2), (3, 5));
+        let bounds: Vec<_> = segs.iter().collect();
+        assert_eq!(bounds, vec![(0, 3), (3, 3), (3, 5)]);
+        assert!(!segs.is_empty());
+        assert!(Segments::from_lens([]).is_empty());
+    }
+
+    #[test]
+    fn grad_segment_matmul_wrt_left() {
+        let segs = Segments::from_lens([2, 1, 3]);
+        grad_check(
+            (6, 4),
+            move |g, p| {
+                let w = g.input(Tensor::from_vec(
+                    4,
+                    3,
+                    (0..12).map(|i| i as f32 * 0.11 - 0.4).collect(),
+                ));
+                let y = g.segment_matmul(p, w, &segs);
+                let t = g.tanh(y);
+                g.sum_all(t)
+            },
+            51,
+        );
+    }
+
+    #[test]
+    fn grad_segment_matmul_wrt_right() {
+        let segs = Segments::from_lens([1, 0, 4]);
+        grad_check(
+            (4, 2),
+            move |g, p| {
+                let x = g.input(Tensor::from_vec(
+                    5,
+                    4,
+                    (0..20).map(|i| (i as f32 * 0.3).sin()).collect(),
+                ));
+                let y = g.segment_matmul(x, p, &segs);
+                let sq = g.mul_elem(y, y);
+                g.mean_all(sq)
+            },
+            52,
+        );
+    }
+
+    #[test]
+    fn grad_segment_softmax_rows() {
+        let segs = Segments::from_lens([3, 1, 2]);
+        grad_check(
+            (6, 1),
+            move |g, p| {
+                let s = g.segment_softmax_rows(p, &segs);
+                let w = g.input(Tensor::from_vec(6, 1, vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4]));
+                let m = g.mul_elem(s, w);
+                g.sum_all(m)
+            },
+            53,
+        );
+    }
+
+    #[test]
+    fn grad_segment_weighted_sum_wrt_weights() {
+        let segs = Segments::from_lens([2, 3]);
+        grad_check(
+            (5, 1),
+            move |g, p| {
+                let v = g.input(Tensor::from_vec(
+                    5,
+                    3,
+                    (0..15).map(|i| (i as f32 * 0.7).cos()).collect(),
+                ));
+                let pooled = g.segment_weighted_sum(p, v, &segs);
+                let sq = g.mul_elem(pooled, pooled);
+                g.sum_all(sq)
+            },
+            54,
+        );
+    }
+
+    #[test]
+    fn grad_segment_weighted_sum_wrt_values() {
+        let segs = Segments::from_lens([2, 0, 3]);
+        grad_check(
+            (5, 3),
+            move |g, p| {
+                let w = g.input(Tensor::from_vec(5, 1, vec![0.2, 0.8, 0.5, -0.3, 0.6]));
+                let pooled = g.segment_weighted_sum(w, p, &segs);
+                let t = g.tanh(pooled);
+                g.sum_all(t)
+            },
+            55,
+        );
+    }
+
+    /// The full segmented attention pipeline must be bitwise-identical —
+    /// forward values and every parameter gradient — to the per-sample
+    /// spelling it replaces (per-sample matmul/softmax/pool stacked with
+    /// concat_rows), across ragged segment shapes including empty and
+    /// single-row segments. This is the kernel-level half of the
+    /// `nvc-embed` encoder parity bar.
+    #[test]
+    fn segmented_attention_matches_per_sample_spelling_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        for lens in [vec![4usize, 1, 7], vec![1], vec![3, 0, 5, 2], vec![2, 2]] {
+            let total: usize = lens.iter().sum();
+            let mut store = ParamStore::new(72);
+            let w = store.param(
+                "w",
+                Tensor::from_vec(6, 4, (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+            );
+            let attn = store.param(
+                "attn",
+                Tensor::from_vec(4, 1, (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+            );
+            let x = Tensor::from_vec(
+                total,
+                6,
+                (0..total * 6).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            let gsel = Tensor::from_vec(
+                lens.len(),
+                4,
+                (0..lens.len() * 4)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
+            );
+
+            // Per-sample spelling: one matmul/softmax/pool chain per
+            // segment, stacked with concat_rows (zeros for empty rows).
+            let (ref_vals, ref_grads) = {
+                let mut g = Graph::new(&store);
+                let rows: Vec<NodeId> = {
+                    let mut rows = Vec::new();
+                    let mut r0 = 0usize;
+                    for &l in &lens {
+                        if l == 0 {
+                            rows.push(g.input(Tensor::zeros(1, 4)));
+                            continue;
+                        }
+                        let xs = g.input(Tensor::from_vec(
+                            l,
+                            6,
+                            x.data()[r0 * 6..(r0 + l) * 6].to_vec(),
+                        ));
+                        let (wn, an) = (g.param(w), g.param(attn));
+                        let proj = g.matmul(xs, wn);
+                        let c = g.tanh(proj);
+                        let scores = g.matmul(c, an);
+                        let row = g.transpose(scores);
+                        let alpha = g.softmax_rows(row);
+                        rows.push(g.matmul(alpha, c));
+                        r0 += l;
+                    }
+                    rows
+                };
+                let out = if rows.len() == 1 {
+                    rows[0]
+                } else {
+                    g.concat_rows(&rows)
+                };
+                let sel = g.input(gsel.clone());
+                let prod = g.mul_elem(out, sel);
+                let loss = g.sum_all(prod);
+                g.backward(loss);
+                (g.value(out).clone(), g.param_grads())
+            };
+
+            // Segmented spelling: one node per stage over the whole stack.
+            let segs = Segments::from_lens(lens.iter().copied());
+            let (seg_vals, seg_grads) = {
+                let mut g = Graph::new(&store);
+                let xs = g.input(x.clone());
+                let (wn, an) = (g.param(w), g.param(attn));
+                let proj = g.segment_matmul(xs, wn, &segs);
+                let c = g.tanh(proj);
+                let scores = g.segment_matmul(c, an, &segs);
+                let alpha = g.segment_softmax_rows(scores, &segs);
+                let out = g.segment_weighted_sum(alpha, c, &segs);
+                let sel = g.input(gsel.clone());
+                let prod = g.mul_elem(out, sel);
+                let loss = g.sum_all(prod);
+                g.backward(loss);
+                (g.value(out).clone(), g.param_grads())
+            };
+
+            assert_eq!(ref_vals, seg_vals, "forward diverged for lens {lens:?}");
+            assert_eq!(
+                ref_grads[&w], seg_grads[&w],
+                "dW diverged for lens {lens:?}"
+            );
+            assert_eq!(
+                ref_grads[&attn], seg_grads[&attn],
+                "d_attn diverged for lens {lens:?}"
+            );
+        }
     }
 
     #[test]

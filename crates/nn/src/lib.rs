@@ -15,7 +15,12 @@
 //!   `gather` (including direct-from-store parameter gathers),
 //!   concatenation, elementwise arithmetic, clipping, minimum, per-row
 //!   selection, and reductions — everything PPO over an attention-based
-//!   encoder requires;
+//!   encoder requires. Ragged batches run through the segment ops
+//!   (`segment_matmul`, `segment_softmax_rows`, `segment_weighted_sum`
+//!   over a shared [`Segments`] row partition), which evaluate a whole
+//!   batch of variable-length attention reductions in one node each
+//!   while staying bitwise-identical — values *and* parameter gradients
+//!   — to the per-sample spelling;
 //! * [`TensorArena`] — a recycled buffer pool graphs draw from
 //!   ([`Graph::with_arena`]) so per-iteration tapes stop churning the
 //!   allocator;
@@ -61,7 +66,7 @@ pub mod serialize;
 pub mod tensor;
 
 pub use arena::{ArenaStats, TensorArena};
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, NodeId, Segments};
 pub use params::{Adam, ParamId, ParamStore};
 pub use tensor::Tensor;
 

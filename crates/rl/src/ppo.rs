@@ -63,6 +63,14 @@ pub struct PpoConfig {
     pub action_dims: ActionDims,
     /// Global gradient-norm clip.
     pub max_grad_norm: f32,
+    /// Worker threads for the stacked rollout forward in
+    /// [`PpoTrainer::collect`] (`0` or `1` = single-threaded, the
+    /// default). Sharding splits the batch into contiguous chunks, one
+    /// segmented encoder + policy forward per chunk, all drawing from the
+    /// shared [`TensorArena`]; every output row is a function of its own
+    /// input row only, so transitions stay bitwise-identical to the
+    /// single-threaded (and per-sample) paths at any thread count.
+    pub collect_threads: usize,
 }
 
 impl Default for PpoConfig {
@@ -79,6 +87,7 @@ impl Default for PpoConfig {
             action_space: ActionSpaceKind::Discrete,
             action_dims: ActionDims { n_vf: 7, n_if: 5 },
             max_grad_norm: 0.5,
+            collect_threads: 0,
         }
     }
 }
@@ -281,7 +290,12 @@ impl PpoTrainer {
             return Vec::new();
         }
         let mut g = Graph::with_arena(&self.store, &self.arena);
-        let obs = self.embedder.forward_batch(&mut g, samples);
+        let obs = match self.embedder.forward_rows(&mut g, samples) {
+            Ok(node) => node,
+            // Defensive twin of the early return above: an empty flush
+            // must never take down a serve worker.
+            Err(nvc_embed::EmbedError::EmptyBatch) => return Vec::new(),
+        };
         let out = self.policy.forward(&mut g, obs);
         match self.cfg.action_space {
             ActionSpaceKind::Discrete => {
@@ -318,11 +332,13 @@ impl PpoTrainer {
 
     /// Rollout collection for one iteration — the batched hot path.
     ///
-    /// The whole `train_batch` runs as **one** graph: every distinct
-    /// context is embedded once ([`CodeEmbedder::forward_batch`] over the
-    /// unique contexts, then a row gather fans them back out to the
-    /// batch), and the policy runs a single stacked forward over all
-    /// rows. Actions are then sampled row by row.
+    /// The whole `train_batch` runs as **one** graph (or one per shard
+    /// with `collect_threads`): every distinct context is embedded once
+    /// through the segmented encoder ([`CodeEmbedder::forward_rows`] —
+    /// one ragged attention forward over all unique contexts, then a row
+    /// gather fans them back out to the batch), and the policy runs a
+    /// single stacked forward over all rows. Actions are then sampled
+    /// row by row.
     ///
     /// Transitions are bitwise-identical to
     /// [`PpoTrainer::collect_reference`] under the same RNG state: the
@@ -368,23 +384,35 @@ impl PpoTrainer {
         }
         let draws_per = uniforms.len() / n;
 
-        // Phase 2: one forward pass. Contexts repeat (draws are with
-        // replacement from a fixed pool), so embed each distinct one once
-        // and gather its row back out per sample.
-        let (unique, row_of) = dedup_contexts(ctxs.iter().copied());
-        let (values, logits_vf, logits_if, mus) = {
-            let samples: Vec<&PathSample> = unique.iter().map(|&c| env.context(c)).collect();
-            let mut g = Graph::with_arena(&self.store, &self.arena);
-            let uobs = self.embedder.forward_batch(&mut g, &samples);
-            let obs = g.gather_rows(uobs, &row_of);
-            let pol = self.policy.forward(&mut g, obs);
-            (
-                g.value(pol.value).data().to_vec(),
-                pol.logits_vf.map(|nid| g.value(nid).clone()),
-                pol.logits_if.map(|nid| g.value(nid).clone()),
-                pol.mu.map(|nid| g.value(nid).clone()),
-            )
+        // Phase 2: the stacked forward. Contexts repeat (draws are with
+        // replacement from a fixed pool), so each shard embeds its
+        // distinct contexts once through the segmented encoder and
+        // gathers rows back out per sample. With `collect_threads > 1`
+        // the batch is split into contiguous chunks forwarded in
+        // parallel (`std::thread::scope` workers over the shared arena);
+        // every output row depends only on its own input row, so the
+        // stitched result is bitwise-identical to the one-graph path.
+        let threads = self.cfg.collect_threads.max(1).min(n);
+        let samples_of: Vec<&PathSample> = ctxs.iter().map(|&c| env.context(c)).collect();
+        let rows = if threads <= 1 {
+            self.stacked_policy_rows(&samples_of)
+        } else {
+            let chunk_len = (n + threads - 1) / threads;
+            let shards: Vec<PolicyRows> = std::thread::scope(|scope| {
+                let this = &*self;
+                let handles: Vec<_> = samples_of
+                    .chunks(chunk_len)
+                    .map(|chunk| scope.spawn(move || this.stacked_policy_rows(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("collect shard"))
+                    .collect()
+            });
+            PolicyRows::stitch(shards)
         };
+        let (values, logits_vf, logits_if, mus) =
+            (rows.values, rows.logits_vf, rows.logits_if, rows.mus);
         let stds = self.log_std_values();
 
         // Phase 3: per-row sampling and rewards, in collection order.
@@ -494,6 +522,25 @@ impl PpoTrainer {
         out
     }
 
+    /// One segmented encoder + policy forward over a slice of rollout
+    /// rows: each *distinct* sample embeds once through the segmented
+    /// encoder ([`CodeEmbedder::forward_rows`] dedups by content and
+    /// fans rows back out), and the policy runs one stacked forward.
+    fn stacked_policy_rows(&self, samples_of: &[&PathSample]) -> PolicyRows {
+        let mut g = Graph::with_arena(&self.store, &self.arena);
+        let obs = self
+            .embedder
+            .forward_rows(&mut g, samples_of)
+            .expect("rollout chunks are never empty");
+        let pol = self.policy.forward(&mut g, obs);
+        PolicyRows {
+            values: g.value(pol.value).data().to_vec(),
+            logits_vf: pol.logits_vf.map(|nid| g.value(nid).clone()),
+            logits_if: pol.logits_if.map(|nid| g.value(nid).clone()),
+            mus: pol.mu.map(|nid| g.value(nid).clone()),
+        }
+    }
+
     fn log_std_values(&self) -> Vec<f32> {
         self.policy
             .log_std()
@@ -518,7 +565,10 @@ impl PpoTrainer {
         // shared embedding still receives every row's contribution).
         let (unique, row_of) = dedup_contexts(idxs.iter().map(|&i| batch[i].ctx));
         let samples: Vec<&PathSample> = unique.iter().map(|&c| env.context(c)).collect();
-        let uobs = self.embedder.forward_batch(&mut g, &samples);
+        let uobs = self
+            .embedder
+            .forward_batch(&mut g, &samples)
+            .expect("minibatch chunks are never empty");
         let obs = g.gather_rows(uobs, &row_of);
         let pol = self.policy.forward(&mut g, obs);
 
@@ -629,6 +679,48 @@ impl PpoTrainer {
         self.store.zero_grads();
 
         (pl, vl, en, tl)
+    }
+}
+
+/// Stacked per-row outputs of one policy forward: the value column plus
+/// whichever heads the action space has. Shards of a parallel collection
+/// stitch back together row-wise ([`PolicyRows::stitch`]).
+struct PolicyRows {
+    values: Vec<f32>,
+    logits_vf: Option<Tensor>,
+    logits_if: Option<Tensor>,
+    mus: Option<Tensor>,
+}
+
+impl PolicyRows {
+    /// Concatenates shard outputs in shard order (rows keep their batch
+    /// positions — shards are contiguous chunks).
+    fn stitch(shards: Vec<PolicyRows>) -> PolicyRows {
+        let mut it = shards.into_iter();
+        let mut out = it.next().expect("at least one shard");
+        for s in it {
+            out.values.extend_from_slice(&s.values);
+            out.logits_vf = vstack(out.logits_vf.take(), s.logits_vf);
+            out.logits_if = vstack(out.logits_if.take(), s.logits_if);
+            out.mus = vstack(out.mus.take(), s.mus);
+        }
+        out
+    }
+}
+
+/// Row-stacks two optional tensors (both present or both absent).
+fn vstack(a: Option<Tensor>, b: Option<Tensor>) -> Option<Tensor> {
+    match (a, b) {
+        (Some(a), Some(b)) => {
+            let (ra, cols) = a.shape();
+            debug_assert_eq!(cols, b.cols(), "shard column mismatch");
+            let rb = b.rows();
+            let mut data = a.into_data();
+            data.extend_from_slice(b.data());
+            Some(Tensor::from_vec(ra + rb, cols, data))
+        }
+        (None, None) => None,
+        _ => unreachable!("shards disagree on which policy heads exist"),
     }
 }
 
@@ -865,6 +957,49 @@ mod tests {
                 rng_bat.gen_range(0.0..1.0f64),
                 "RNG stream positions diverged for {kind:?}"
             );
+        }
+    }
+
+    /// Sharding the stacked rollout forward across threads must not
+    /// change a single bit of the transitions — each output row is a
+    /// function of its own input row, and the RNG is consumed before any
+    /// forward runs.
+    #[test]
+    fn parallel_collect_matches_single_threaded_bitwise() {
+        use nvc_embed::EmbedConfig;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        for kind in [
+            ActionSpaceKind::Discrete,
+            ActionSpaceKind::Continuous1D,
+            ActionSpaceKind::Continuous2D,
+        ] {
+            let base = PpoConfig {
+                train_batch: 29, // not a multiple of the thread count
+                hidden: vec![16, 16],
+                action_space: kind,
+                action_dims: ActionDims { n_vf: 7, n_if: 5 },
+                ..PpoConfig::default()
+            };
+            let mut env = ParityEnv::new(5);
+            let mut single = PpoTrainer::new(&base, &EmbedConfig::fast(), 41);
+            let mut rng_s = ChaCha8Rng::seed_from_u64(9);
+            let expected = single.collect(&mut env, &mut rng_s);
+
+            for threads in [3usize, 8, 64] {
+                let cfg = PpoConfig {
+                    collect_threads: threads,
+                    ..base.clone()
+                };
+                let mut sharded = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 41);
+                let mut rng_p = ChaCha8Rng::seed_from_u64(9);
+                let got = sharded.collect(&mut env, &mut rng_p);
+                assert_eq!(
+                    expected, got,
+                    "{threads}-thread collect diverged for {kind:?}"
+                );
+            }
         }
     }
 

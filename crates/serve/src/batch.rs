@@ -143,12 +143,20 @@ impl Batcher {
                 self.available.notify_one();
             }
             if jobs.is_empty() {
+                // An empty flush (shutdown race, spurious wakeup) must
+                // never reach the model: the segmented encoder refuses
+                // empty batches (`EmbedError::EmptyBatch`) rather than
+                // crashing, and the daemon worker's contract is the same
+                // — skip, don't panic.
                 continue;
             }
             let samples: Vec<&PathSample> = jobs.iter().map(|j| &j.sample).collect();
             let decisions = model.decide_batch(&samples);
             debug_assert_eq!(decisions.len(), jobs.len());
             metrics.record_batch(jobs.len());
+            // If a model ever answers short (it reports empty on an
+            // input it refuses), the unmatched jobs' senders drop here
+            // and their clients fail fast instead of hanging.
             for (job, decision) in jobs.into_iter().zip(decisions) {
                 // A dropped receiver (abandoned request) is not an error.
                 let _ = job.reply.send(decision);
