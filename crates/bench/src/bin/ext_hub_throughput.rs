@@ -1,0 +1,225 @@
+//! Extension experiment: hub warm-restart throughput over loopback TCP.
+//!
+//! The hub's persistent decision cache exists so a restarted daemon does
+//! not re-pay every embedding + policy forward it already did in its
+//! previous life. This bench measures that, end to end through the real
+//! TCP transport with the paper-sized model (340-dim code vectors,
+//! 64×64 policy):
+//!
+//! 1. **cold** — a fresh hub, empty cache: every distinct loop shape
+//!    pays the full model forward;
+//! 2. **warm restart** — the cold hub is shut down (persisting its
+//!    cache, versioned by checkpoint hash), a new hub process-equivalent
+//!    restores it, and the same repeated-shape workload runs again:
+//!    every loop is a disk-restored cache hit.
+//!
+//! Acceptance: warm-restart req/s ≥ 3× cold req/s, the restore really
+//! happened (`entries_restored > 0`, zero model batches), and a restart
+//! under a *different* checkpoint invalidates instead of serving stale
+//! decisions. Results land in `BENCH_hub.json`.
+//!
+//! ```text
+//! cargo run --release -p nv-bench --bin ext_hub_throughput
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use neurovectorizer::{Hub, HubConfig, ModelSpec, NeuroVectorizer, NvConfig, ServeConfig};
+use nvc_datasets::generator;
+use nvc_hub::server::{serve_tcp, HubHandle};
+use nvc_serve::json::obj;
+use nvc_serve::Json;
+
+const ACCEPTANCE_RATIO: f64 = 3.0;
+const CLIENTS: usize = 4;
+const PASSES: usize = 3;
+
+fn start_hub(cache_path: &str, nv: NeuroVectorizer) -> HubHandle {
+    let hub = Hub::new(
+        HubConfig::default()
+            .with_listen("127.0.0.1:0")
+            .with_cache_path(cache_path),
+        ServeConfig::default(),
+    );
+    let hash = nv.checkpoint_hash();
+    hub.register(ModelSpec {
+        name: "prod".to_string(),
+        weight: 1,
+        checkpoint_hash: hash,
+        model: Arc::new(nv),
+    })
+    .expect("register");
+    hub.restore_cache().expect("restore cache");
+    serve_tcp(Arc::new(hub)).expect("bind loopback")
+}
+
+fn model(seed: u64) -> NeuroVectorizer {
+    NeuroVectorizer::new(NvConfig::paper().with_seed(seed))
+}
+
+/// Drives every source `passes` times from `clients` persistent TCP
+/// connections; returns req/s.
+fn drive(addr: SocketAddr, sources: &[String], clients: usize, passes: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                // Nagle + delayed ACK would cap the request rate near
+                // 25/s per connection regardless of server speed.
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream);
+                for _ in 0..passes {
+                    for src in sources {
+                        let mut line = obj(vec![("source", Json::from(src.as_str()))]).render();
+                        line.push('\n');
+                        let s = reader.get_mut();
+                        s.write_all(line.as_bytes()).unwrap();
+                        s.flush().unwrap();
+                        let mut response = String::new();
+                        reader.read_line(&mut response).expect("response");
+                        let v = Json::parse(response.trim()).expect("json");
+                        assert_eq!(
+                            v.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "request failed: {response}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    (clients * passes * sources.len()) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    let pool = generator::generate(11, 24);
+    let sources: Vec<String> = pool.iter().map(|k| k.source.clone()).collect();
+    let cache_path = std::env::temp_dir()
+        .join(format!("nvc-hub-bench-{}.nvc", std::process::id()))
+        .to_string_lossy()
+        .to_string();
+    let _ = std::fs::remove_file(&cache_path);
+    println!(
+        "== ext: hub throughput over loopback TCP ({} kernels, {CLIENTS} clients, paper-size model) ==\n",
+        sources.len()
+    );
+    println!(
+        "{:<38} {:>12} {:>10} {:>12}",
+        "configuration", "req/s", "hits", "restored"
+    );
+
+    // 1. Cold: fresh hub, empty cache, first-touch workload (one pass —
+    //    exactly what a freshly restarted hub without persistence pays);
+    //    shut down to persist.
+    let (cold, cold_entries) = {
+        let handle = start_hub(&cache_path, model(3));
+        let rps = drive(handle.addr(), &sources, CLIENTS, 1);
+        let stats = handle
+            .hub()
+            .registry()
+            .get("prod")
+            .unwrap()
+            .handle
+            .cache_stats();
+        println!(
+            "{:<38} {:>12.1} {:>10} {:>12}",
+            "cold (empty cache)", rps, stats.hits, "-"
+        );
+        handle.shutdown();
+        (rps, stats.len())
+    };
+
+    // 2. Warm restart: same checkpoint, cache restored from disk.
+    let (warm, restored, warm_batches) = {
+        let handle = start_hub(&cache_path, model(3));
+        let rps = drive(handle.addr(), &sources, CLIENTS, PASSES);
+        let entry = handle.hub().registry().get("prod").unwrap();
+        let m = entry.handle.metrics();
+        println!(
+            "{:<38} {:>12.1} {:>10} {:>12}",
+            "warm restart (restored cache)",
+            rps,
+            entry.handle.cache_stats().hits,
+            m.entries_restored
+        );
+        handle.shutdown();
+        (rps, m.entries_restored, m.batches)
+    };
+
+    // 3. Version check: a different checkpoint must invalidate, not
+    //    serve stale decisions (informational, but asserted).
+    let invalidated = {
+        let handle = start_hub(&cache_path, model(99));
+        drive(
+            handle.addr(),
+            &sources[..4.min(sources.len())].to_vec(),
+            1,
+            1,
+        );
+        let m = handle
+            .hub()
+            .registry()
+            .get("prod")
+            .unwrap()
+            .handle
+            .metrics();
+        println!(
+            "{:<38} {:>12} {:>10} {:>12}",
+            "changed checkpoint (invalidated)", "-", "-", m.entries_invalidated_by_version
+        );
+        handle.shutdown();
+        m.entries_invalidated_by_version
+    };
+    let _ = std::fs::remove_file(&cache_path);
+
+    let ratio = warm / cold;
+    println!("\nwarm-restart/cold speedup: {ratio:.1}x (acceptance: >= {ACCEPTANCE_RATIO:.0}x)");
+
+    let report = obj(vec![
+        ("bench", Json::from("hub_throughput")),
+        ("kernels", Json::from(sources.len())),
+        ("clients", Json::from(CLIENTS)),
+        ("passes", Json::from(PASSES)),
+        ("cold_rps", Json::from(cold)),
+        ("warm_restart_rps", Json::from(warm)),
+        ("ratio", Json::from(ratio)),
+        ("acceptance_ratio", Json::from(ACCEPTANCE_RATIO)),
+        ("cold_cache_entries", Json::from(cold_entries)),
+        ("entries_restored", Json::from(restored)),
+        ("warm_model_batches", Json::from(warm_batches)),
+        ("entries_invalidated_by_version", Json::from(invalidated)),
+    ]);
+    match std::fs::write("BENCH_hub.json", report.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_hub.json"),
+        Err(e) => eprintln!("could not write BENCH_hub.json: {e}"),
+    }
+
+    let mut ok = true;
+    if restored == 0 {
+        println!("FAIL: warm restart restored nothing");
+        ok = false;
+    }
+    if warm_batches != 0 {
+        println!("FAIL: warm restart ran {warm_batches} model batches (expected 0)");
+        ok = false;
+    }
+    if invalidated == 0 {
+        println!("FAIL: changed checkpoint invalidated nothing");
+        ok = false;
+    }
+    if ratio < ACCEPTANCE_RATIO {
+        println!("FAIL: warm-restart speedup below acceptance");
+        ok = false;
+    }
+    if ok {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -8,20 +8,34 @@
 //! nvc vectorize file.c --model model.ckpt        # annotated source on stdout
 //! nvc inspect file.c [--n 1024]                  # per-loop analysis report
 //! nvc serve --model model.ckpt                   # JSON-lines daemon on stdin/stdout
+//! nvc hub --model prod=model.ckpt --listen 127.0.0.1:7199
 //! ```
 //!
-//! `serve` keeps the model warm and answers one JSON request per line
-//! (see `nvc-serve` for the protocol): repeated loop shapes hit a sharded
-//! LRU decision cache, cache misses coalesce into batched policy forward
-//! passes.
+//! `serve` keeps one model warm on stdin/stdout; `hub` is the networked
+//! tier — N named checkpoints behind one TCP endpoint, weighted A/B
+//! routing, hot-swap `reload`, and a decision cache that persists across
+//! restarts versioned by checkpoint hash (see `nvc-hub`).
+//!
+//! Every subcommand rejects unknown flags with its usage text instead of
+//! silently ignoring them (`neurovectorizer::cli`).
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use neurovectorizer::{Compiler, NeuroVectorizer, NvConfig, VectorizeEnv};
+use neurovectorizer::cli::{parse_args, Flag, ParsedArgs};
+use neurovectorizer::{Compiler, Hub, ModelSpec, NeuroVectorizer, NvConfig, VectorizeEnv};
 use nvc_datasets::{generator, Kernel};
 use nvc_ir::ParamEnv;
 use nvc_vectorizer::ActionSpace;
+
+const USAGE: &str = "usage:
+  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE
+  nvc vectorize FILE.c [--model FILE]
+  nvc inspect FILE.c [--n VALUE]
+  nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
+  nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
+          [--cache-file PATH] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,10 +44,9 @@ fn main() -> ExitCode {
         Some("vectorize") => cmd_vectorize(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("hub") => cmd_hub(&args[1..]),
         _ => {
-            eprintln!(
-                "usage:\n  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE\n  nvc vectorize FILE.c [--model FILE]\n  nvc inspect FILE.c [--n VALUE]\n  nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -46,18 +59,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let kernels: usize = flag(args, "--kernels").map_or(Ok(96), |v| v.parse())?;
-    let iterations: usize = flag(args, "--iterations").map_or(Ok(20), |v| v.parse())?;
-    let seed: u64 = flag(args, "--seed").map_or(Ok(17), |v| v.parse())?;
-    let out = flag(args, "--out").ok_or("train requires --out FILE")?;
+    const FLAGS: &[Flag] = &[
+        Flag::value("--kernels"),
+        Flag::value("--iterations"),
+        Flag::value("--seed"),
+        Flag::value("--out"),
+    ];
+    let p = parse_args(args, FLAGS, USAGE)?;
+    no_positionals(&p, "train")?;
+    let kernels: usize = p.parse_value("--kernels")?.unwrap_or(96);
+    let iterations: usize = p.parse_value("--iterations")?.unwrap_or(20);
+    let seed: u64 = p.parse_value("--seed")?.unwrap_or(17);
+    let out = p
+        .get("--out")
+        .ok_or("train requires --out FILE")?
+        .to_string();
 
     let cfg = NvConfig::fast().with_seed(seed);
     let pool = generator::generate(seed, kernels);
@@ -89,15 +106,34 @@ fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
     }
 }
 
+fn one_positional(p: &ParsedArgs, what: &str) -> Result<String, String> {
+    match p.positionals() {
+        [one] => Ok(one.clone()),
+        [] => Err(format!("{what} requires a source file (or `-` for stdin)")),
+        many => Err(format!("{what} takes one source file, got {}", many.len())),
+    }
+}
+
+/// Subcommands without positionals reject strays loudly — `nvc serve
+/// model.ckpt` (forgotten `--model`) must not silently start an
+/// untrained daemon.
+fn no_positionals(p: &ParsedArgs, what: &str) -> Result<(), String> {
+    match p.positionals() {
+        [] => Ok(()),
+        strays => Err(format!(
+            "{what} takes no positional arguments, got {strays:?}\n{USAGE}"
+        )),
+    }
+}
+
 fn cmd_vectorize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let file = args
-        .iter()
-        .find(|a| !a.starts_with("--") && flag_value_position(args, a))
-        .ok_or("vectorize requires a source file (or `-` for stdin)")?;
-    let source = read_source(file)?;
+    const FLAGS: &[Flag] = &[Flag::value("--model")];
+    let p = parse_args(args, FLAGS, USAGE)?;
+    let file = one_positional(&p, "vectorize")?;
+    let source = read_source(&file)?;
     let mut nv = NeuroVectorizer::new(NvConfig::fast());
-    if let Some(model) = flag(args, "--model") {
-        let ckpt = std::fs::read_to_string(&model)?;
+    if let Some(model) = p.get("--model") {
+        let ckpt = std::fs::read_to_string(model)?;
         nv.restore(&ckpt)?;
     }
     let annotated = nv.vectorize_source(&source)?;
@@ -105,35 +141,44 @@ fn cmd_vectorize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// True when `a` is a positional argument (not the value of a flag).
-fn flag_value_position(args: &[String], a: &String) -> bool {
-    match args.iter().position(|x| x == a) {
-        Some(0) => true,
-        Some(i) => !args[i - 1].starts_with("--"),
-        None => true,
+/// Applies the serving knobs shared by `serve` and `hub`.
+fn apply_serve_flags(cfg: &mut NvConfig, p: &ParsedArgs) -> Result<(), String> {
+    if let Some(n) = p.parse_value::<usize>("--workers")? {
+        cfg.serve.workers = n.max(1);
     }
+    if let Some(n) = p.parse_value::<usize>("--batch")? {
+        cfg.serve.batch_size = n.max(1);
+    }
+    if let Some(n) = p.parse_value("--flush-us")? {
+        cfg.serve.flush_deadline_us = n;
+    }
+    if let Some(n) = p.parse_value("--cache")? {
+        cfg.serve.cache_capacity = n;
+    }
+    if let Some(n) = p.parse_value::<usize>("--shards")? {
+        cfg.serve.cache_shards = n.max(1);
+    }
+    Ok(())
 }
 
+const SERVE_KNOBS: [Flag; 5] = [
+    Flag::value("--workers"),
+    Flag::value("--batch"),
+    Flag::value("--flush-us"),
+    Flag::value("--cache"),
+    Flag::value("--shards"),
+];
+
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut flags = vec![Flag::value("--model")];
+    flags.extend(SERVE_KNOBS);
+    let p = parse_args(args, &flags, USAGE)?;
+    no_positionals(&p, "serve")?;
     let mut cfg = NvConfig::fast();
-    if let Some(n) = flag(args, "--workers") {
-        cfg.serve.workers = n.parse::<usize>()?.max(1);
-    }
-    if let Some(n) = flag(args, "--batch") {
-        cfg.serve.batch_size = n.parse::<usize>()?.max(1);
-    }
-    if let Some(n) = flag(args, "--flush-us") {
-        cfg.serve.flush_deadline_us = n.parse()?;
-    }
-    if let Some(n) = flag(args, "--cache") {
-        cfg.serve.cache_capacity = n.parse()?;
-    }
-    if let Some(n) = flag(args, "--shards") {
-        cfg.serve.cache_shards = n.parse::<usize>()?.max(1);
-    }
+    apply_serve_flags(&mut cfg, &p)?;
     let mut nv = NeuroVectorizer::new(cfg);
-    if let Some(model) = flag(args, "--model") {
-        let ckpt = std::fs::read_to_string(&model)?;
+    if let Some(model) = p.get("--model") {
+        let ckpt = std::fs::read_to_string(model)?;
         nv.restore(&ckpt)?;
         eprintln!("nvc serve: restored weights from {model}");
     } else {
@@ -152,19 +197,106 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     neurovectorizer::run_daemon(&handle, stdin.lock(), &mut stdout)?;
-    eprintln!("nvc serve: shutting down");
+    eprintln!("nvc serve: drained; final stats emitted");
+    Ok(())
+}
+
+fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut flags = vec![
+        Flag::repeated("--model"),
+        Flag::repeated("--weight"),
+        Flag::value("--listen"),
+        Flag::value("--cache-file"),
+    ];
+    flags.extend(SERVE_KNOBS);
+    let p = parse_args(args, &flags, USAGE)?;
+    no_positionals(&p, "hub")?;
+
+    let mut cfg = NvConfig::fast();
+    apply_serve_flags(&mut cfg, &p)?;
+    if let Some(listen) = p.get("--listen") {
+        cfg.hub.listen = listen.to_string();
+    }
+    if let Some(path) = p.get("--cache-file") {
+        cfg.hub.cache_path = Some(path.to_string());
+    }
+
+    let models = p.get_all("--model");
+    if models.is_empty() {
+        return Err("hub requires at least one --model NAME=CHECKPOINT".into());
+    }
+    let mut weights: Vec<(String, u32)> = Vec::new();
+    for w in p.get_all("--weight") {
+        let (name, value) = w
+            .split_once('=')
+            .ok_or_else(|| format!("--weight wants NAME=N, got `{w}`"))?;
+        let value: u32 = value
+            .parse()
+            .map_err(|_| format!("invalid weight `{value}` for model `{name}`"))?;
+        weights.push((name.to_string(), value));
+    }
+
+    let loader = NeuroVectorizer::hub_loader(cfg.clone());
+    let hub = Hub::new(cfg.hub.clone(), cfg.serve.clone()).with_loader(loader);
+    for spec in models {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--model wants NAME=CHECKPOINT, got `{spec}`"))?;
+        let ckpt = std::fs::read_to_string(path)?;
+        let mut nv = NeuroVectorizer::new(cfg.clone());
+        nv.restore(&ckpt)?;
+        let hash = nv.checkpoint_hash();
+        let weight = weights
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(1, |(_, w)| *w);
+        hub.register(ModelSpec {
+            name: name.to_string(),
+            weight,
+            checkpoint_hash: hash,
+            model: Arc::new(nv),
+        })?;
+        eprintln!(
+            "nvc hub: registered `{name}` (weight {weight}, checkpoint {hash:016x}) from {path}"
+        );
+    }
+    // A weight naming no registered model is a typo, not a no-op:
+    // `--weight prd=9` silently leaving `prod` at weight 1 is exactly
+    // the misconfiguration class the strict parser exists to catch.
+    for (name, _) in &weights {
+        if hub.registry().get(name).is_none() {
+            return Err(format!("--weight names unknown model `{name}`").into());
+        }
+    }
+    hub.restore_cache()?;
+
+    let handle = nvc_hub::server::serve_tcp(Arc::new(hub))?;
+    eprintln!(
+        "nvc hub: listening on {} ({} models{}); send {{\"op\":\"shutdown\"}} to stop",
+        handle.addr(),
+        handle.hub().registry().len(),
+        match handle.hub().config().cache_path.as_deref() {
+            Some(p) => format!(", cache persisted to {p}"),
+            None => String::new(),
+        }
+    );
+    // Serve until some client sends the shutdown verb.
+    while !handle.hub().is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    handle.shutdown();
+    eprintln!("nvc hub: drained and persisted; bye");
     Ok(())
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let file = args
-        .iter()
-        .find(|a| !a.starts_with("--") && flag_value_position(args, a))
-        .ok_or("inspect requires a source file")?;
-    let source = read_source(file)?;
+    const FLAGS: &[Flag] = &[Flag::value("--n")];
+    let p = parse_args(args, FLAGS, USAGE)?;
+    let file = one_positional(&p, "inspect")?;
+    let source = read_source(&file)?;
     let mut env = ParamEnv::new();
-    if let Some(n) = flag(args, "--n") {
-        env = env.with("n", n.parse()?);
+    if let Some(n) = p.parse_value("--n")? {
+        env = env.with("n", n);
     }
     let kernel = Kernel::new(file.clone(), "cli", source, env);
     let compiler = Compiler::default();

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use nvc_embed::{extract_loop_samples, EmbedConfig, PathSample};
 use nvc_frontend::{inject_pragmas, FrontendError, LoopPragma};
+use nvc_hub::HubConfig;
 use nvc_machine::TargetConfig;
 use nvc_rl::{ActionDims, IterStats, PpoConfig, PpoTrainer};
 use nvc_serve::{DecisionModel, ServeConfig, ServeHandle};
@@ -30,6 +31,9 @@ pub struct NvConfig {
     pub ppo: PpoConfig,
     /// Serving-layer configuration (`nvc serve`, [`NeuroVectorizer::serve`]).
     pub serve: ServeConfig,
+    /// Hub-tier configuration (`nvc hub`: TCP transport, model registry,
+    /// persistent cache).
+    pub hub: HubConfig,
     /// Seed for parameter init and exploration.
     pub seed: u64,
 }
@@ -51,6 +55,7 @@ impl NvConfig {
                 ..PpoConfig::default()
             },
             serve: ServeConfig::default(),
+            hub: HubConfig::default(),
             seed: 0,
         }
     }
@@ -76,6 +81,7 @@ impl NvConfig {
                 ..PpoConfig::default()
             },
             serve: ServeConfig::default(),
+            hub: HubConfig::default(),
             seed: 0,
         }
     }
@@ -144,6 +150,31 @@ impl NeuroVectorizer {
     /// `nvc-nn` checkpoint format.
     pub fn checkpoint(&self) -> String {
         nvc_nn::serialize::to_string(self.trainer.store())
+    }
+
+    /// Content hash of the currently loaded weights — the version key
+    /// the hub tier stamps on persisted decision caches. Equals
+    /// `nvc_nn::serialize::checkpoint_hash_text` of
+    /// [`NeuroVectorizer::checkpoint`].
+    pub fn checkpoint_hash(&self) -> u64 {
+        nvc_nn::serialize::checkpoint_hash(self.trainer.store())
+    }
+
+    /// Builds the checkpoint loader the hub's `reload` verb (and the
+    /// `nvc hub` CLI) uses: reads a checkpoint file, restores it into a
+    /// fresh model built from `cfg`, and returns the model plus the
+    /// content hash of its live weights.
+    pub fn hub_loader(cfg: NvConfig) -> nvc_hub::CheckpointLoader {
+        Box::new(move |path: &str| {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let mut nv = NeuroVectorizer::new(cfg.clone());
+            nv.restore(&text).map_err(|e| format!("{path}: {e}"))?;
+            let hash = nv.checkpoint_hash();
+            Ok((
+                std::sync::Arc::new(nv) as std::sync::Arc<dyn DecisionModel>,
+                hash,
+            ))
+        })
     }
 
     /// Restores weights from a checkpoint produced by

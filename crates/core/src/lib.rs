@@ -26,6 +26,12 @@
 //!   long-lived `nvc-serve` daemon (`nvc serve` on the CLI): a sharded
 //!   LRU decision cache plus batched policy inference behind a JSON-lines
 //!   protocol. [`ServeConfig`] (a field of [`NvConfig`]) holds the knobs.
+//!   The networked tier (`nvc hub`, `nvc-hub`) serves N named checkpoints
+//!   over TCP with weighted A/B routing, hot-swap `reload`, and a
+//!   persistent decision cache versioned by checkpoint hash
+//!   ([`HubConfig`], [`NeuroVectorizer::hub_loader`]);
+//! * [`cli`] — the shared argument parser every `nvc` subcommand uses
+//!   (unknown flags are errors, not silently ignored).
 //!
 //! # Quickstart
 //!
@@ -55,7 +61,10 @@ pub mod env;
 pub mod experiments;
 pub mod framework;
 
+pub mod cli;
+
 pub use compiler::{CompileError, Compiler, LoopDecision, ProgramTiming, CALL_OVERHEAD_CYCLES};
 pub use env::{LoopContext, VectorizeEnv, TIMEOUT_PENALTY};
 pub use framework::{NeuroVectorizer, NvConfig};
+pub use nvc_hub::{Hub, HubConfig, HubHandle, ModelSpec};
 pub use nvc_serve::{run_daemon, ServeConfig, ServeHandle};

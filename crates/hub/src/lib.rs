@@ -1,0 +1,781 @@
+//! `nvc-hub` — the networked multi-model serving tier.
+//!
+//! `nvc-serve` made one model fast *inside* one process; a build farm has
+//! many processes on many machines, and retraining ships new checkpoints
+//! while builds are running. This crate is the layer between the two:
+//!
+//! * [`server`] — a **TCP transport**: a `TcpListener` accept loop with
+//!   one thread per connection speaking the same JSON-lines protocol as
+//!   the stdin daemon, plus `ping` / `metrics` / `reload` / `shutdown`
+//!   control verbs. Any number of concurrent build processes share one
+//!   warm hub;
+//! * [`registry`] — a **model registry**: N named checkpoints, each
+//!   behind its own `ServeHandle` (private cache + batcher + workers),
+//!   routed by explicit `"model"` field or a deterministic weighted A/B
+//!   split, with atomic hot-swap (`reload`) that never drops in-flight
+//!   requests;
+//! * [`persist`] — a **persistent decision cache**: each model's sharded
+//!   LRU cache is serialized on shutdown and restored on start, stamped
+//!   with the owning checkpoint's content hash so a changed checkpoint
+//!   invalidates stale entries instead of serving wrong decisions.
+//!
+//! # Wire protocol
+//!
+//! Everything the stdin daemon accepts, plus:
+//!
+//! ```text
+//! → {"op":"vectorize","id":"r1","source":"…","model":"prod"}      # pin a model
+//! → {"op":"vectorize","id":"r2","source":"…","route":"host42"}    # A/B by key
+//! ← {"id":"r2","ok":true,"model":"prod","source":"…","loops":[…],"latency_us":412}
+//! → {"op":"ping"}                      ← {"ok":true,"pong":true,"uptime_us":…}
+//! → {"op":"metrics"}                   ← {"ok":true,"stats":{…,"models":{…}}}
+//! → {"op":"reload","model":"prod","checkpoint":"new.ckpt"}
+//! ← {"ok":true,"reloaded":"prod","checkpoint_hash":"…"}
+//! → {"op":"shutdown"}                  ← ack, then the hub drains and persists
+//! ```
+
+pub mod persist;
+pub mod registry;
+pub mod server;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use nvc_serve::json::obj;
+use nvc_serve::{DecisionModel, Json, LoopReport, ServeConfig};
+
+pub use persist::CacheSection;
+pub use registry::{ModelEntry, ModelRegistry, ModelSpec};
+pub use server::HubHandle;
+
+/// Tuning knobs for the hub tier (`NvConfig.hub`, `nvc hub` flags).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubConfig {
+    /// Address the TCP listener binds (`host:port`; port 0 lets the OS
+    /// pick — tests and benches use this).
+    pub listen: String,
+    /// Where the decision cache persists across restarts (`None`
+    /// disables persistence).
+    pub cache_path: Option<String>,
+    /// Per-connection read poll interval in milliseconds — how quickly
+    /// an idle connection notices hub shutdown.
+    pub conn_poll_ms: u64,
+    /// Accept-loop poll interval in milliseconds.
+    pub accept_poll_ms: u64,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            listen: "127.0.0.1:7199".to_string(),
+            cache_path: None,
+            conn_poll_ms: 50,
+            accept_poll_ms: 20,
+        }
+    }
+}
+
+impl HubConfig {
+    /// Builder-style listen-address override.
+    pub fn with_listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = addr.into();
+        self
+    }
+
+    /// Builder-style cache-path override.
+    pub fn with_cache_path(mut self, path: impl Into<String>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+}
+
+/// Hub failures surfaced to clients and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HubError {
+    /// A request named a model the registry does not hold.
+    UnknownModel(String),
+    /// A model name the snapshot format cannot represent (empty, or
+    /// containing whitespace).
+    BadModelName(String),
+    /// Registering under a name that is already taken.
+    DuplicateModel(String),
+    /// Routing with an empty registry.
+    NoModels,
+    /// The hub was built without a checkpoint loader (`reload` needs one).
+    NoLoader,
+    /// Loading a checkpoint failed (I/O or parse).
+    Loader(String),
+    /// Filesystem problems while persisting/restoring the cache.
+    Io(String),
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::UnknownModel(n) => write!(f, "unknown model `{n}`"),
+            HubError::BadModelName(n) => {
+                write!(f, "bad model name `{n}` (must be non-empty, no whitespace)")
+            }
+            HubError::DuplicateModel(n) => write!(f, "model `{n}` already registered"),
+            HubError::NoModels => write!(f, "no models registered"),
+            HubError::NoLoader => write!(f, "hub has no checkpoint loader"),
+            HubError::Loader(e) => write!(f, "checkpoint load failed: {e}"),
+            HubError::Io(e) => write!(f, "cache persistence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+/// Loads a checkpoint file into a servable model: returns the model and
+/// its content hash. The CLI wires this to `NeuroVectorizer::restore` +
+/// `nvc_nn::serialize::checkpoint_hash_text`; tests use stubs.
+pub type CheckpointLoader =
+    Box<dyn Fn(&str) -> Result<(Arc<dyn DecisionModel>, u64), String> + Send + Sync>;
+
+/// The hub itself: registry + persistence + protocol handling. The TCP
+/// layer ([`server::serve_tcp`]) and tests drive it through
+/// [`Hub::handle_line`].
+pub struct Hub {
+    registry: ModelRegistry,
+    cfg: HubConfig,
+    loader: Option<CheckpointLoader>,
+    started: Instant,
+    /// Protocol requests handled (all verbs, all connections).
+    requests: AtomicU64,
+    /// Connections accepted since start (maintained by the TCP layer).
+    pub(crate) connections: AtomicU64,
+    /// Set once shutdown begins; the TCP layer polls it.
+    shutting_down: AtomicBool,
+    /// Guards the persist-and-drain sequence (runs exactly once).
+    drained: AtomicBool,
+}
+
+impl Hub {
+    /// An empty hub; register models with [`Hub::register`].
+    pub fn new(cfg: HubConfig, serve_cfg: ServeConfig) -> Self {
+        Hub {
+            registry: ModelRegistry::new(serve_cfg),
+            cfg,
+            loader: None,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+        }
+    }
+
+    /// Attaches the checkpoint loader the `reload` verb uses.
+    pub fn with_loader(mut self, loader: CheckpointLoader) -> Self {
+        self.loader = Some(loader);
+        self
+    }
+
+    /// The hub's configuration.
+    pub fn config(&self) -> &HubConfig {
+        &self.cfg
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Registers a model (see [`ModelRegistry::register`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::DuplicateModel`] when the name is taken.
+    pub fn register(&self, spec: ModelSpec) -> Result<(), HubError> {
+        self.registry.register(spec)
+    }
+
+    /// True once shutdown has begun (the TCP layer polls this).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Restores each model's decision cache from the configured
+    /// `cache_path`, version-checked: a section whose checkpoint hash
+    /// matches the registered model of the same name is restored
+    /// (counted in that model's `entries_restored`); a mismatched or
+    /// orphaned section is discarded (counted in
+    /// `entries_invalidated_by_version` when the model exists).
+    /// A missing file is a cold start, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Io`] on unreadable or corrupt snapshot files.
+    pub fn restore_cache(&self) -> Result<(), HubError> {
+        let Some(path) = self.cfg.cache_path.as_deref() else {
+            return Ok(());
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(HubError::Io(format!("read {path}: {e}"))),
+        };
+        let sections = persist::parse(&text).map_err(|e| HubError::Io(e.to_string()))?;
+        for section in sections {
+            let Some(entry) = self.registry.get(&section.model) else {
+                continue; // model no longer configured; silently dropped
+            };
+            if entry.checkpoint_hash == section.checkpoint_hash {
+                entry.handle.restore_cache(section.entries);
+            } else {
+                entry
+                    .handle
+                    .record_invalidated_entries(section.entries.len() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every model's cache image to the configured `cache_path`
+    /// (no-op when persistence is disabled). Written via a temp file +
+    /// rename so a crash mid-write never leaves a truncated snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Io`] when writing fails.
+    pub fn persist_cache(&self) -> Result<(), HubError> {
+        let Some(path) = self.cfg.cache_path.as_deref() else {
+            return Ok(());
+        };
+        let sections: Vec<CacheSection> = self
+            .registry
+            .entries()
+            .iter()
+            .map(|e| CacheSection {
+                model: e.name.clone(),
+                checkpoint_hash: e.checkpoint_hash,
+                entries: e.handle.cache_snapshot(),
+            })
+            .collect();
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, persist::to_string(&sections))
+            .map_err(|e| HubError::Io(format!("write {tmp}: {e}")))?;
+        std::fs::rename(&tmp, path).map_err(|e| HubError::Io(format!("rename {tmp}: {e}")))
+    }
+
+    /// Initiates shutdown: marks the hub as draining, drains every
+    /// model's worker pool (in-flight batches complete), then persists
+    /// the cache. Idempotent; safe from any thread — including a
+    /// connection thread handling the `shutdown` verb.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        if self.drained.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.registry.shutdown_all();
+        if let Err(e) = self.persist_cache() {
+            eprintln!("nvc hub: cache persistence failed: {e}");
+        }
+    }
+
+    /// Routing key for a request: the explicit `"route"` field when
+    /// present (stable client identity), else the source text — so one
+    /// file keeps hitting the model whose cache holds its loops.
+    fn routing_key(route: Option<&str>, source: &str) -> u64 {
+        let mut h = nvc_embed::Fnv1a::new();
+        h.write(route.unwrap_or(source).as_bytes());
+        h.finish()
+    }
+
+    /// The hub-wide introspection surface: uptime, totals, and one
+    /// stats object per model (each carrying its own request count and
+    /// cache-persistence counters).
+    pub fn stats_json(&self) -> Json {
+        let models: Vec<(String, Json)> = self
+            .registry
+            .entries()
+            .iter()
+            .map(|e| {
+                let Json::Obj(mut members) = e.handle.stats_json() else {
+                    unreachable!("stats_json renders an object");
+                };
+                members.insert(0, ("weight".to_string(), Json::from(u64::from(e.weight))));
+                members.insert(
+                    0,
+                    (
+                        "checkpoint_hash".to_string(),
+                        Json::from(format!("{:016x}", e.checkpoint_hash)),
+                    ),
+                );
+                (e.name.clone(), Json::Obj(members))
+            })
+            .collect();
+        obj(vec![
+            (
+                "uptime_us",
+                Json::from(self.started.elapsed().as_micros() as u64),
+            ),
+            (
+                "requests",
+                Json::from(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "connections",
+                Json::from(self.connections.load(Ordering::Relaxed)),
+            ),
+            ("models", Json::Obj(models)),
+        ])
+    }
+
+    /// Handles one protocol line; returns the response line and whether
+    /// the connection should keep reading (`false` after `shutdown`).
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let with_id = |id: Option<&str>, mut members: Vec<(&str, Json)>| {
+            if let Some(id) = id {
+                members.insert(0, ("id", Json::from(id)));
+            }
+            obj(members).render()
+        };
+        let fail = |id: Option<&str>, e: String| {
+            (
+                with_id(
+                    id,
+                    vec![("ok", Json::from(false)), ("error", Json::from(e))],
+                ),
+                true,
+            )
+        };
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(None, format!("invalid JSON: {e}")),
+        };
+        let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+        let id = id.as_deref();
+        let op = v.get("op").and_then(Json::as_str);
+        match op {
+            Some("ping") => (
+                with_id(
+                    id,
+                    vec![
+                        ("ok", Json::from(true)),
+                        ("pong", Json::from(true)),
+                        (
+                            "uptime_us",
+                            Json::from(self.started.elapsed().as_micros() as u64),
+                        ),
+                    ],
+                ),
+                true,
+            ),
+            Some("metrics") | Some("stats") => (
+                with_id(
+                    id,
+                    vec![("ok", Json::from(true)), ("stats", self.stats_json())],
+                ),
+                true,
+            ),
+            Some("shutdown") => {
+                // Only *flag* shutdown here: the connection thread
+                // writes this ack first and then runs the full drain
+                // (`Hub::shutdown`), so the requesting client gets its
+                // response before models drain and the cache persists.
+                self.shutting_down.store(true, Ordering::Release);
+                (
+                    with_id(
+                        id,
+                        vec![("ok", Json::from(true)), ("shutdown", Json::from(true))],
+                    ),
+                    false,
+                )
+            }
+            Some("reload") => {
+                let Some(name) = v.get("model").and_then(Json::as_str) else {
+                    return fail(id, "reload requires a `model` field".into());
+                };
+                let Some(path) = v.get("checkpoint").and_then(Json::as_str) else {
+                    return fail(id, "reload requires a `checkpoint` field".into());
+                };
+                let weight = v.get("weight").and_then(Json::as_f64).map(|w| w as u32);
+                match self.reload(name, path, weight) {
+                    Ok(hash) => (
+                        with_id(
+                            id,
+                            vec![
+                                ("ok", Json::from(true)),
+                                ("reloaded", Json::from(name)),
+                                ("checkpoint_hash", Json::from(format!("{hash:016x}"))),
+                            ],
+                        ),
+                        true,
+                    ),
+                    Err(e) => fail(id, e.to_string()),
+                }
+            }
+            Some("vectorize") | None => {
+                let Some(source) = v.get("source").and_then(Json::as_str) else {
+                    return fail(id, "missing `source` field".into());
+                };
+                let explicit = v.get("model").and_then(Json::as_str);
+                let route = v.get("route").and_then(Json::as_str);
+                let entry = match self
+                    .registry
+                    .route(explicit, Self::routing_key(route, source))
+                {
+                    Ok(e) => e,
+                    Err(e) => return fail(id, e.to_string()),
+                };
+                match entry.handle.vectorize(source) {
+                    Ok(out) => (
+                        with_id(
+                            id,
+                            vec![
+                                ("ok", Json::from(true)),
+                                ("model", Json::from(entry.name.as_str())),
+                                ("source", Json::from(out.source)),
+                                (
+                                    "loops",
+                                    Json::Arr(out.loops.iter().map(LoopReport::to_json).collect()),
+                                ),
+                                ("latency_us", Json::from(out.latency_us)),
+                            ],
+                        ),
+                        true,
+                    ),
+                    Err(e) => fail(id, e.to_string()),
+                }
+            }
+            Some(other) => fail(id, format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Hot-swaps `name` to the checkpoint at `path` via the loader.
+    /// Returns the new checkpoint hash. The replaced entry keeps serving
+    /// its in-flight requests and is drained when the last one finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::NoLoader`] without a loader, [`HubError::Loader`] on
+    /// load failure, [`HubError::UnknownModel`] for an unknown name.
+    pub fn reload(&self, name: &str, path: &str, weight: Option<u32>) -> Result<u64, HubError> {
+        let loader = self.loader.as_ref().ok_or(HubError::NoLoader)?;
+        let old = self
+            .registry
+            .get(name)
+            .ok_or_else(|| HubError::UnknownModel(name.to_string()))?;
+        let (model, hash) = loader(path).map_err(HubError::Loader)?;
+        let displaced = self.registry.reload(ModelSpec {
+            name: name.to_string(),
+            weight: weight.unwrap_or(old.weight),
+            checkpoint_hash: hash,
+            model,
+        })?;
+        // Drain the displaced pool in the background once callers drop
+        // their Arcs; draining here would block on in-flight requests.
+        drop(displaced);
+        Ok(hash)
+    }
+}
+
+impl Drop for Hub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nvc_embed::{EmbedConfig, PathSample};
+    use nvc_machine::TargetConfig;
+
+    /// Deterministic stub model: decisions are a function of the sample
+    /// and a per-model tag, so two stubs with different tags are
+    /// distinguishable (stand-ins for different checkpoints).
+    pub(crate) struct StubModel {
+        embed: EmbedConfig,
+        target: TargetConfig,
+        tag: usize,
+    }
+
+    impl StubModel {
+        pub(crate) fn new(tag: usize) -> Self {
+            StubModel {
+                embed: EmbedConfig::fast(),
+                target: TargetConfig::i7_8559u(),
+                tag,
+            }
+        }
+    }
+
+    impl DecisionModel for StubModel {
+        fn embed_config(&self) -> &EmbedConfig {
+            &self.embed
+        }
+
+        fn target(&self) -> &TargetConfig {
+            &self.target
+        }
+
+        fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)> {
+            let dims = (
+                self.target.vf_candidates().len(),
+                self.target.if_candidates().len(),
+            );
+            samples
+                .iter()
+                .map(|s| ((s.len() + self.tag) % dims.0, self.tag % dims.1))
+                .collect()
+        }
+    }
+
+    pub(crate) fn stub_spec(name: &str, weight: u32, tag: usize) -> ModelSpec {
+        ModelSpec {
+            name: name.to_string(),
+            weight,
+            checkpoint_hash: tag as u64,
+            model: Arc::new(StubModel::new(tag)),
+        }
+    }
+
+    pub(crate) const SRC: &str = "float a[512]; float b[512];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0;
+    }
+}";
+
+    fn hub_with(models: &[(&str, u32, usize)]) -> Hub {
+        let hub = Hub::new(HubConfig::default(), ServeConfig::default().with_workers(1));
+        for &(name, weight, tag) in models {
+            hub.register(stub_spec(name, weight, tag)).unwrap();
+        }
+        hub
+    }
+
+    #[test]
+    fn ping_metrics_and_unknown_op() {
+        let hub = hub_with(&[("m", 1, 0)]);
+        let (resp, keep) = hub.handle_line(r#"{"op":"ping","id":"p"}"#);
+        assert!(keep);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("p"));
+        assert!(v.get("uptime_us").unwrap().as_f64().is_some());
+
+        let (resp, _) = hub.handle_line(r#"{"op":"metrics"}"#);
+        let v = Json::parse(&resp).unwrap();
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("requests").unwrap().as_f64(), Some(2.0));
+        let m = stats.get("models").unwrap().get("m").unwrap();
+        assert_eq!(m.get("weight").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            m.get("checkpoint_hash").unwrap().as_str(),
+            Some("0000000000000000")
+        );
+        assert!(m.get("cache").unwrap().get("entries_restored").is_some());
+
+        let (resp, keep) = hub.handle_line(r#"{"op":"explode","id":"x"}"#);
+        assert!(keep);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn vectorize_routes_and_reports_model() {
+        let hub = hub_with(&[("a", 1, 0), ("b", 0, 3)]);
+        let req = obj(vec![
+            ("op", Json::from("vectorize")),
+            ("source", Json::from(SRC)),
+            ("model", Json::from("b")),
+        ])
+        .render();
+        let (resp, _) = hub.handle_line(&req);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(v.get("model").unwrap().as_str(), Some("b"));
+        assert_eq!(v.get("loops").unwrap().as_array().unwrap().len(), 1);
+
+        // Weight 0 means b never takes un-pinned traffic.
+        let unpinned = obj(vec![("source", Json::from(SRC))]).render();
+        let (resp, _) = hub.handle_line(&unpinned);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("model").unwrap().as_str(), Some("a"));
+
+        let bad = obj(vec![
+            ("source", Json::from(SRC)),
+            ("model", Json::from("ghost")),
+        ])
+        .render();
+        let (resp, _) = hub.handle_line(&bad);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn route_field_pins_the_split_deterministically() {
+        let hub = hub_with(&[("a", 1, 0), ("b", 1, 3)]);
+        let req = |route: &str| {
+            obj(vec![
+                ("source", Json::from(SRC)),
+                ("route", Json::from(route)),
+            ])
+            .render()
+        };
+        // The same route key always lands on the same model…
+        let first = Json::parse(&hub.handle_line(&req("client-1")).0)
+            .unwrap()
+            .get("model")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        for _ in 0..5 {
+            let again = hub.handle_line(&req("client-1")).0;
+            assert_eq!(
+                Json::parse(&again).unwrap().get("model").unwrap().as_str(),
+                Some(first.as_str())
+            );
+        }
+        // …and different keys spread across both models.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let resp = hub.handle_line(&req(&format!("client-{i}"))).0;
+            seen.insert(
+                Json::parse(&resp)
+                    .unwrap()
+                    .get("model")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        assert_eq!(seen.len(), 2, "1:1 split must reach both models");
+    }
+
+    #[test]
+    fn shutdown_verb_acks_then_flags_shutdown() {
+        let hub = hub_with(&[("m", 1, 0)]);
+        let (resp, keep) = hub.handle_line(r#"{"op":"shutdown","id":"bye"}"#);
+        assert!(!keep);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("shutdown").unwrap().as_bool(), Some(true));
+        // handle_line only flags; the caller (connection thread, daemon
+        // loop) runs the drain after writing the ack.
+        assert!(hub.is_shutting_down());
+        hub.shutdown();
+    }
+
+    #[test]
+    fn reload_without_loader_is_an_error() {
+        let hub = hub_with(&[("m", 1, 0)]);
+        let (resp, _) = hub.handle_line(r#"{"op":"reload","model":"m","checkpoint":"x.ckpt"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("loader"));
+    }
+
+    #[test]
+    fn reload_swaps_model_and_flushes_nothing_else() {
+        let hub = Hub::new(HubConfig::default(), ServeConfig::default().with_workers(1))
+            .with_loader(Box::new(|path| {
+                let tag: usize = path.parse().map_err(|_| format!("bad path {path}"))?;
+                Ok((
+                    Arc::new(StubModel::new(tag)) as Arc<dyn DecisionModel>,
+                    tag as u64,
+                ))
+            }));
+        hub.register(stub_spec("m", 2, 0)).unwrap();
+        let vec_req = obj(vec![("source", Json::from(SRC))]).render();
+        let before = Json::parse(&hub.handle_line(&vec_req).0).unwrap();
+
+        let (resp, _) = hub.handle_line(r#"{"op":"reload","model":"m","checkpoint":"3"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(v.get("reloaded").unwrap().as_str(), Some("m"));
+        let entry = hub.registry().get("m").unwrap();
+        assert_eq!(entry.checkpoint_hash, 3);
+        assert_eq!(entry.weight, 2, "reload keeps the old weight by default");
+
+        // The new model really answers (tag 3 shifts the decision).
+        let after = Json::parse(&hub.handle_line(&vec_req).0).unwrap();
+        let vf = |v: &Json| {
+            v.get("loops").unwrap().as_array().unwrap()[0]
+                .get("vf")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_ne!(vf(&before), vf(&after), "reload must change decisions");
+
+        // Unknown model still errors.
+        let (resp, _) = hub.handle_line(r#"{"op":"reload","model":"nope","checkpoint":"3"}"#);
+        assert_eq!(
+            Json::parse(&resp).unwrap().get("ok").unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn persist_restore_roundtrip_with_version_check() {
+        let dir = std::env::temp_dir().join(format!("nvc-hub-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.nvc").to_string_lossy().to_string();
+        let cfg = HubConfig::default().with_cache_path(path.clone());
+
+        // Warm a hub, shut it down: the cache lands on disk.
+        let hub = Hub::new(cfg.clone(), ServeConfig::default().with_workers(1));
+        hub.register(stub_spec("m", 1, 0)).unwrap();
+        let vec_req = obj(vec![("source", Json::from(SRC))]).render();
+        let first = Json::parse(&hub.handle_line(&vec_req).0).unwrap();
+        hub.shutdown();
+        drop(hub);
+
+        // Same checkpoint: entries restore and serve as hits.
+        let hub2 = Hub::new(cfg.clone(), ServeConfig::default().with_workers(1));
+        hub2.register(stub_spec("m", 1, 0)).unwrap();
+        hub2.restore_cache().unwrap();
+        let again = Json::parse(&hub2.handle_line(&vec_req).0).unwrap();
+        assert_eq!(
+            again.get("source").unwrap().as_str(),
+            first.get("source").unwrap().as_str()
+        );
+        let loops = again.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(
+            loops[0].get("cached").unwrap().as_bool(),
+            Some(true),
+            "restored entry must serve as a hit"
+        );
+        let m = hub2.registry().get("m").unwrap().handle.metrics();
+        assert!(m.entries_restored > 0);
+        assert_eq!(m.entries_invalidated_by_version, 0);
+        drop(hub2);
+
+        // Different checkpoint (tag 1 → different hash): entries are
+        // invalidated, the request recomputes.
+        let hub3 = Hub::new(cfg, ServeConfig::default().with_workers(1));
+        hub3.register(stub_spec("m", 1, 1)).unwrap();
+        hub3.restore_cache().unwrap();
+        let recomputed = Json::parse(&hub3.handle_line(&vec_req).0).unwrap();
+        let loops = recomputed.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(
+            loops[0].get("cached").unwrap().as_bool(),
+            Some(false),
+            "stale snapshot must not serve"
+        );
+        let m = hub3.registry().get("m").unwrap().handle.metrics();
+        assert_eq!(m.entries_restored, 0);
+        assert!(m.entries_invalidated_by_version > 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_cache_file_is_a_cold_start() {
+        let cfg = HubConfig::default().with_cache_path("/nonexistent/dir/cache.nvc");
+        let hub = Hub::new(cfg, ServeConfig::default().with_workers(1));
+        hub.register(stub_spec("m", 1, 0)).unwrap();
+        assert!(hub.restore_cache().is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! The TCP transport: a nonblocking accept loop plus one thread per
+//! connection, each speaking the JSON-lines protocol against the shared
+//! [`Hub`].
+//!
+//! Connections and the accept loop poll [`Hub::is_shutting_down`] at
+//! short intervals (no async runtime in the offline dependency set), so
+//! a `shutdown` verb from *any* client quiesces the whole hub: the
+//! acceptor stops, idle connections close, models drain, and the cache
+//! persists. Reads are buffered manually — a read timeout mid-line must
+//! not drop bytes already received, so partial lines live in a
+//! per-connection buffer, not in a `BufReader`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::Hub;
+
+/// A running hub server: the accept thread plus live connections.
+/// Dropping the handle shuts the hub down (drain + persist) and joins
+/// every thread.
+pub struct HubHandle {
+    hub: Arc<Hub>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Binds `hub.config().listen` and starts serving.
+///
+/// # Errors
+///
+/// Returns the bind error (address in use, bad address syntax, …).
+pub fn serve_tcp(hub: Arc<Hub>) -> std::io::Result<HubHandle> {
+    let listener = TcpListener::bind(&hub.config().listen)?;
+    serve_on(hub, listener)
+}
+
+/// Starts serving on an already-bound listener (tests bind port 0 and
+/// read the ephemeral address back).
+///
+/// # Errors
+///
+/// Returns an error when the listener cannot report its local address
+/// or switch to nonblocking mode.
+pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHandle> {
+    let addr = listener.local_addr()?;
+    // Nonblocking accept + poll: the acceptor must notice shutdown
+    // initiated by a connection thread, and the offline toolbox has no
+    // selector to block on.
+    listener.set_nonblocking(true)?;
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let hub = Arc::clone(&hub);
+        let conns = Arc::clone(&conns);
+        let poll = Duration::from_millis(hub.config().accept_poll_ms.max(1));
+        std::thread::Builder::new()
+            .name("nvc-hub-accept".to_string())
+            .spawn(move || loop {
+                if hub.is_shutting_down() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        hub.connections.fetch_add(1, Ordering::Relaxed);
+                        let hub = Arc::clone(&hub);
+                        let worker = std::thread::Builder::new()
+                            .name("nvc-hub-conn".to_string())
+                            .spawn(move || serve_connection(&hub, stream))
+                            .expect("spawn hub connection thread");
+                        let mut conns = conns.lock();
+                        // Reap finished connections so the list does not
+                        // grow unboundedly on a long-lived hub.
+                        conns.retain(|c: &JoinHandle<()>| !c.is_finished());
+                        conns.push(worker);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) => {
+                        // Transient accept failures (ECONNABORTED when a
+                        // client resets mid-handshake, EINTR, fd
+                        // exhaustion) must not silently kill the
+                        // acceptor — that would leave a healthy-looking
+                        // hub that refuses every new connection. Log,
+                        // back off one poll interval, keep accepting.
+                        eprintln!("nvc hub: accept failed (retrying): {e}");
+                        std::thread::sleep(poll);
+                    }
+                }
+            })
+            .expect("spawn hub accept thread")
+    };
+    Ok(HubHandle {
+        hub,
+        addr,
+        accept: Mutex::new(Some(accept)),
+        conns,
+    })
+}
+
+/// One connection: buffer bytes, answer complete lines, exit on EOF,
+/// write failure, protocol shutdown, or hub shutdown.
+fn serve_connection(hub: &Hub, mut stream: TcpStream) {
+    let poll = Duration::from_millis(hub.config().conn_poll_ms.max(1));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Answer every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, keep_going) = hub.handle_line(line);
+            if stream
+                .write_all(response.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                return;
+            }
+            if !keep_going {
+                // The shutdown verb acks first (written above), *then*
+                // the drain + cache persist runs — a client with a
+                // short read timeout sees its ack even when draining a
+                // busy hub takes a while.
+                hub.shutdown();
+                return;
+            }
+        }
+        if hub.is_shutting_down() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: loop re-checks the shutdown flag
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl HubHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub being served.
+    pub fn hub(&self) -> &Arc<Hub> {
+        &self.hub
+    }
+
+    /// Shuts the whole tier down: hub drain + cache persist, then joins
+    /// the acceptor and every connection thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.hub.shutdown();
+        if let Some(accept) = self.accept.lock().take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for HubHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{stub_spec, SRC};
+    use crate::HubConfig;
+    use nvc_serve::{Json, ServeConfig};
+    use std::io::{BufRead, BufReader};
+
+    fn start(models: &[(&str, u32, usize)]) -> HubHandle {
+        let cfg = HubConfig::default().with_listen("127.0.0.1:0");
+        let hub = Hub::new(cfg, ServeConfig::default().with_workers(1));
+        for &(name, weight, tag) in models {
+            hub.register(stub_spec(name, weight, tag)).unwrap();
+        }
+        serve_tcp(Arc::new(hub)).expect("bind loopback")
+    }
+
+    /// One request/response over a fresh connection.
+    fn roundtrip(addr: SocketAddr, line: &str) -> Json {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        Json::parse(response.trim()).expect("parse response")
+    }
+
+    #[test]
+    fn tcp_ping_and_vectorize() {
+        let handle = start(&[("m", 1, 0)]);
+        let v = roundtrip(handle.addr(), r#"{"op":"ping"}"#);
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        let v = roundtrip(handle.addr(), &req);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("model").unwrap().as_str(), Some("m"));
+        assert!(v
+            .get("source")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("#pragma clang loop"));
+    }
+
+    #[test]
+    fn one_connection_many_requests_and_partial_writes() {
+        let handle = start(&[("m", 1, 0)]);
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Dribble a request in two writes (split mid-JSON) to prove the
+        // line buffer survives read-timeout boundaries.
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        let (head, tail) = req.split_at(req.len() / 2);
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(120)); // > conn_poll_ms
+        stream.write_all(tail.as_bytes()).unwrap();
+        stream.write_all(b"\n{\"op\":\"ping\"}\n").unwrap();
+        stream.flush().unwrap();
+
+        let mut reader = BufReader::new(stream);
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert_eq!(
+            Json::parse(first.trim())
+                .unwrap()
+                .get("ok")
+                .unwrap()
+                .as_bool(),
+            Some(true),
+            "split request must reassemble: {first}"
+        );
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert_eq!(
+            Json::parse(second.trim())
+                .unwrap()
+                .get("pong")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn shutdown_verb_quiesces_the_server() {
+        let handle = start(&[("m", 1, 0)]);
+        let v = roundtrip(handle.addr(), r#"{"op":"shutdown"}"#);
+        assert_eq!(v.get("shutdown").unwrap().as_bool(), Some(true));
+        // The acceptor notices within its poll interval; new connections
+        // are refused (or accepted-then-dropped) shortly after.
+        handle.shutdown();
+        assert!(handle.hub().is_shutting_down());
+    }
+}

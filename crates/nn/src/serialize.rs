@@ -38,6 +38,68 @@ pub fn to_string(store: &ParamStore) -> String {
     out
 }
 
+/// FNV-1a accumulator for checkpoint content hashing (the offline
+/// dependency set has no hashing crate; this matches `nvc-embed`'s token
+/// hasher constants).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn hash_entries(entries: &mut Vec<(&str, &Tensor)>) -> u64 {
+    // Sorting by name makes the hash a function of checkpoint *content*,
+    // not of the order parameters happened to be registered in — two
+    // stores holding the same tensors under the same names hash equal.
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut h = Fnv1a::new();
+    for (name, t) in entries.iter() {
+        h.write(name.as_bytes());
+        h.write(&[0]);
+        h.write(&(t.rows() as u64).to_le_bytes());
+        h.write(&(t.cols() as u64).to_le_bytes());
+        for v in t.data() {
+            h.write(&v.to_bits().to_le_bytes());
+        }
+    }
+    h.0
+}
+
+/// Content hash of every parameter in `store`: name, shape, and exact
+/// f32 bit patterns, independent of parameter insertion order.
+///
+/// This is the version key of the serving tier's persistent decision
+/// cache: a cache snapshot taken under one checkpoint must not be served
+/// under another, and [`checkpoint_hash_text`] of
+/// [`to_string`]`(store)` equals `checkpoint_hash(store)`, so the daemon
+/// can hash a checkpoint file without a matching [`ParamStore`].
+pub fn checkpoint_hash(store: &ParamStore) -> u64 {
+    let mut entries: Vec<(&str, &Tensor)> = store.iter().map(|(_, n, t)| (n, t)).collect();
+    hash_entries(&mut entries)
+}
+
+/// [`checkpoint_hash`] computed from checkpoint text instead of a live
+/// store.
+///
+/// # Errors
+///
+/// Returns [`ParseCheckpointError`] when the text is not a valid
+/// checkpoint.
+pub fn checkpoint_hash_text(text: &str) -> Result<u64, ParseCheckpointError> {
+    let parsed = parse(text)?;
+    let mut entries: Vec<(&str, &Tensor)> = parsed.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    Ok(hash_entries(&mut entries))
+}
+
 /// Errors from parsing a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseCheckpointError {
@@ -182,5 +244,133 @@ mod tests {
         s.param("other", Tensor::zeros(1, 1));
         let text = "nvc-nn-checkpoint v1\nparam w 1 1\n3f800000\n";
         assert!(load_into(&mut s, text).is_err());
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let mut s = ParamStore::new(4);
+        s.param("a", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        s.param("b", Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let h = checkpoint_hash(&s);
+        assert_eq!(h, checkpoint_hash(&s), "hash must be deterministic");
+        assert_eq!(
+            checkpoint_hash_text(&to_string(&s)).unwrap(),
+            h,
+            "text hash must agree with the live-store hash"
+        );
+        // Any content change moves the hash: a value bit, a name, a shape.
+        let mut s2 = s.clone();
+        s2.get_mut(ParamId(0)).data_mut()[0] = 1.0 + f32::EPSILON;
+        assert_ne!(checkpoint_hash(&s2), h);
+        let mut s3 = ParamStore::new(4);
+        s3.param("a", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        s3.param("c", Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        assert_ne!(checkpoint_hash(&s3), h, "renamed parameter must rehash");
+        let mut s4 = ParamStore::new(4);
+        s4.param("a", Tensor::from_vec(2, 1, vec![1.0, 2.0]));
+        s4.param("b", Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        assert_ne!(checkpoint_hash(&s4), h, "reshaped parameter must rehash");
+    }
+
+    #[test]
+    fn hash_text_rejects_garbage() {
+        assert!(checkpoint_hash_text("not a checkpoint").is_err());
+    }
+
+    use crate::params::ParamId;
+    use proptest::prelude::*;
+
+    /// Bit patterns that exercise every special f32 class: ±0, NaN
+    /// (quiet and signalling payloads), ±∞, subnormals, and ordinary
+    /// values — plus an arbitrary pattern drawn from the case seed.
+    fn f32_from_case(class: u8, bits: u32) -> f32 {
+        f32::from_bits(match class % 8 {
+            0 => 0x0000_0000,                        // +0
+            1 => 0x8000_0000,                        // -0
+            2 => 0x7FC0_0001,                        // quiet NaN with payload
+            3 => 0x7F80_0001,                        // signalling NaN
+            4 => 0x7F80_0000 | (bits & 0x8000_0000), // ±∞
+            5 => bits & 0x007F_FFFF | 1,             // subnormal
+            6 => 0x0000_0001,                        // smallest subnormal
+            _ => bits,                               // anything
+        })
+    }
+
+    proptest! {
+        /// `to_string` → `parse` → `load_into` reproduces every f32 bit
+        /// pattern exactly, for random shapes and value classes
+        /// including NaN/∞/subnormals (bitwise: NaNs compare by bits,
+        /// not by `==`).
+        #[test]
+        fn prop_roundtrip_is_bitwise(
+            rows in 1usize..7,
+            cols in 1usize..9,
+            seed in 0u64..10_000
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            };
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|_| {
+                    let r = next();
+                    f32_from_case((r >> 32) as u8, r as u32)
+                })
+                .collect();
+            let mut s = ParamStore::new(0);
+            s.param("w", Tensor::from_vec(rows, cols, data.clone()));
+            s.param("tail", Tensor::from_vec(1, 1, vec![f32_from_case((seed >> 8) as u8, seed as u32)]));
+
+            let text = to_string(&s);
+            let mut s2 = ParamStore::new(1);
+            let w2 = s2.param("w", Tensor::zeros(rows, cols));
+            s2.param("tail", Tensor::zeros(1, 1));
+            load_into(&mut s2, &text).unwrap();
+            let round: Vec<u32> = s2.get(w2).data().iter().map(|v| v.to_bits()).collect();
+            let orig: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(round, orig);
+            // The hash is bit-pattern faithful too: hashing the text
+            // equals hashing the store even through NaN payloads.
+            prop_assert_eq!(checkpoint_hash_text(&text).unwrap(), checkpoint_hash(&s));
+        }
+
+        /// Registering the same `(name, tensor)` set in any order yields
+        /// the same checkpoint hash.
+        #[test]
+        fn prop_hash_ignores_insertion_order(
+            n in 2usize..6,
+            rotate in 1usize..5,
+            seed in 0u64..10_000
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            };
+            let tensors: Vec<(String, Tensor)> = (0..n)
+                .map(|i| {
+                    let rows = 1 + (next() as usize) % 4;
+                    let cols = 1 + (next() as usize) % 4;
+                    let data = (0..rows * cols)
+                        .map(|_| {
+                            let r = next();
+                            f32_from_case((r >> 32) as u8, r as u32)
+                        })
+                        .collect();
+                    (format!("p{i}"), Tensor::from_vec(rows, cols, data))
+                })
+                .collect();
+            let mut fwd = ParamStore::new(0);
+            for (name, t) in &tensors {
+                fwd.param(name.clone(), t.clone());
+            }
+            let mut rot = ParamStore::new(0);
+            for i in 0..n {
+                let (name, t) = &tensors[(i + rotate) % n];
+                rot.param(name.clone(), t.clone());
+            }
+            prop_assert_eq!(checkpoint_hash(&fwd), checkpoint_hash(&rot));
+        }
     }
 }

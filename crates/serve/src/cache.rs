@@ -223,6 +223,39 @@ impl<V: Copy> ShardedLruCache<V> {
         self.len() == 0
     }
 
+    /// Every live entry, coldest first within each shard (shards
+    /// concatenated in index order). Re-inserting a snapshot in order via
+    /// [`ShardedLruCache::restore`] reproduces each shard's recency
+    /// ranking, so a persisted-then-restored cache evicts in the same
+    /// order the original would have.
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            // Walk tail → head: coldest first.
+            let mut i = s.tail;
+            while i != NIL {
+                out.push((s.slots[i].key, s.slots[i].value));
+                i = s.slots[i].prev;
+            }
+        }
+        out
+    }
+
+    /// Inserts `entries` in order (oldest/coldest first, the order
+    /// [`ShardedLruCache::snapshot`] produces). Returns how many
+    /// entries the cache *grew by* — zero when the cache is disabled,
+    /// and less than the snapshot size when the snapshot exceeds this
+    /// cache's capacity (the restoring daemon may be configured
+    /// smaller than the one that wrote it; only survivors count).
+    pub fn restore(&self, entries: impl IntoIterator<Item = (u64, V)>) -> usize {
+        let before = self.len();
+        for (key, value) in entries {
+            self.insert(key, value);
+        }
+        self.len() - before
+    }
+
     /// Aggregated counters and per-shard occupancy.
     pub fn stats(&self) -> CacheStats {
         let mut out = CacheStats::default();
@@ -299,6 +332,62 @@ mod tests {
                 "shard {i} occupancy {occ} far from uniform (512/8 = 64)"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_entries_and_recency() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(3, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1: recency order (cold → warm) becomes 2, 3, 1.
+        assert_eq!(c.get(1), Some(10));
+        let snap = c.snapshot();
+        assert_eq!(snap, vec![(2, 20), (3, 30), (1, 10)]);
+
+        let c2: ShardedLruCache<u32> = ShardedLruCache::new(3, 1);
+        assert_eq!(c2.restore(snap), 3);
+        for (k, v) in [(1, 10), (2, 20), (3, 30)] {
+            assert_eq!(c2.get(k), Some(v), "restored entry {k} lost");
+        }
+        // Recency carried over: after restoring and touching nothing
+        // else, inserting a 4th entry evicts 2 (the coldest), same as
+        // the original cache would.
+        let c3: ShardedLruCache<u32> = ShardedLruCache::new(3, 1);
+        c3.restore(c.snapshot());
+        c3.insert(4, 40);
+        assert_eq!(c3.get(2), None, "coldest snapshot entry must evict first");
+        assert_eq!(c3.get(1), Some(10));
+    }
+
+    #[test]
+    fn restore_into_disabled_cache_is_a_noop() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(0, 2);
+        assert_eq!(c.restore(vec![(1, 1), (2, 2)]), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn restore_counts_survivors_not_insertions() {
+        // A snapshot larger than the restoring cache: only the entries
+        // still resident afterwards count as restored.
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(2, 1);
+        let restored = c.restore((0..10u64).map(|k| (k, k as u32)));
+        assert_eq!(restored, 2, "only survivors count");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_covers_all_shards() {
+        let c: ShardedLruCache<u64> = ShardedLruCache::new(1024, 8);
+        for k in 0..100u64 {
+            c.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 100);
+        let c2: ShardedLruCache<u64> = ShardedLruCache::new(1024, 8);
+        c2.restore(snap);
+        assert_eq!(c2.len(), 100);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! log₂-bucketed latency histogram with p50/p99 estimates.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Number of log₂ microsecond buckets (covers < 1 µs .. > 2⁴⁶ µs).
 const BUCKETS: usize = 48;
@@ -67,7 +68,7 @@ impl LatencyHistogram {
 }
 
 /// All service counters. Cheap to update from any thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Vectorize requests accepted.
     pub requests: AtomicU64,
@@ -82,8 +83,32 @@ pub struct Metrics {
     /// Misses that coalesced onto another request's in-flight decision
     /// instead of embedding the same loop again (single-flight dedup).
     pub dedup_waits: AtomicU64,
+    /// Cache entries restored from a persisted snapshot at startup.
+    pub entries_restored: AtomicU64,
+    /// Persisted cache entries discarded because their snapshot was
+    /// taken under a different checkpoint hash (version mismatch).
+    pub entries_invalidated_by_version: AtomicU64,
     /// End-to-end request latency.
     pub latency: LatencyHistogram,
+    /// When this service instance started (drives `uptime_us`).
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            loops_served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_loops: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            entries_restored: AtomicU64::new(0),
+            entries_invalidated_by_version: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl Metrics {
@@ -98,12 +123,17 @@ impl Metrics {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_loops = self.batched_loops.load(Ordering::Relaxed);
         MetricsSnapshot {
+            uptime_us: self.started.elapsed().as_micros() as u64,
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             loops_served: self.loops_served.load(Ordering::Relaxed),
             batches,
             batched_loops,
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            entries_restored: self.entries_restored.load(Ordering::Relaxed),
+            entries_invalidated_by_version: self
+                .entries_invalidated_by_version
+                .load(Ordering::Relaxed),
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -120,6 +150,8 @@ impl Metrics {
 /// Plain-data snapshot of [`Metrics`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Microseconds since this service instance started.
+    pub uptime_us: u64,
     /// Vectorize requests accepted.
     pub requests: u64,
     /// Requests that failed.
@@ -132,6 +164,10 @@ pub struct MetricsSnapshot {
     pub batched_loops: u64,
     /// Misses coalesced onto an in-flight identical decision.
     pub dedup_waits: u64,
+    /// Cache entries restored from a persisted snapshot at startup.
+    pub entries_restored: u64,
+    /// Persisted entries discarded for a checkpoint-version mismatch.
+    pub entries_invalidated_by_version: u64,
     /// Average loops per forward pass.
     pub mean_batch: f64,
     /// Latency observations.
@@ -168,6 +204,25 @@ mod tests {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.99), 0);
         assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_carries_uptime_and_persistence_counters() {
+        let m = Metrics::default();
+        m.entries_restored.fetch_add(17, Ordering::Relaxed);
+        m.entries_invalidated_by_version
+            .fetch_add(5, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let s = m.snapshot();
+        assert_eq!(s.entries_restored, 17);
+        assert_eq!(s.entries_invalidated_by_version, 5);
+        assert!(
+            s.uptime_us >= 2_000,
+            "uptime_us not advancing: {}",
+            s.uptime_us
+        );
+        let s2 = m.snapshot();
+        assert!(s2.uptime_us >= s.uptime_us, "uptime must be monotonic");
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl Inner {
 /// and are safe to call from many threads at once.
 pub struct ServeHandle {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServeHandle {
@@ -204,7 +204,10 @@ impl ServeHandle {
                     .expect("spawn serve worker")
             })
             .collect();
-        ServeHandle { inner, workers }
+        ServeHandle {
+            inner,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// The action space decisions index into.
@@ -353,6 +356,7 @@ impl ServeHandle {
         let m = self.metrics();
         let c = self.cache_stats();
         obj(vec![
+            ("uptime_us", Json::from(m.uptime_us)),
             ("requests", Json::from(m.requests)),
             ("errors", Json::from(m.errors)),
             ("loops_served", Json::from(m.loops_served)),
@@ -367,6 +371,11 @@ impl ServeHandle {
                     ("entries", Json::from(c.len())),
                     ("shards", Json::from(c.occupancy.len())),
                     ("shard_capacity", Json::from(c.shard_capacity)),
+                    ("entries_restored", Json::from(m.entries_restored)),
+                    (
+                        "entries_invalidated_by_version",
+                        Json::from(m.entries_invalidated_by_version),
+                    ),
                     (
                         "occupancy",
                         Json::Arr(c.occupancy.iter().map(|&o| Json::from(o)).collect()),
@@ -463,12 +472,47 @@ impl ServeHandle {
         }
     }
 
-    /// Stops the worker pool (also done on drop).
-    pub fn shutdown(&mut self) {
+    /// Stops the worker pool, letting in-flight batches complete (the
+    /// workers drain the queue before exiting). Idempotent, takes
+    /// `&self` so daemons can drain on a shared handle; also done on
+    /// drop.
+    pub fn shutdown(&self) {
         self.inner.batcher.stop();
-        for w in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for w in workers {
             let _ = w.join();
         }
+    }
+
+    /// Every cached decision, coldest first per shard — the persistence
+    /// image the hub writes to disk on shutdown
+    /// (see [`ShardedLruCache::snapshot`] for the recency guarantee).
+    pub fn cache_snapshot(&self) -> Vec<(u64, (usize, usize))> {
+        self.inner.cache.snapshot()
+    }
+
+    /// Seeds the decision cache from a persisted snapshot (coldest
+    /// first) and counts the entries in `entries_restored`. The caller
+    /// is responsible for version-checking the snapshot against the
+    /// model's checkpoint hash *before* restoring — a stale snapshot
+    /// must go through [`ServeHandle::record_invalidated_entries`]
+    /// instead of here.
+    pub fn restore_cache(&self, entries: impl IntoIterator<Item = (u64, (usize, usize))>) -> usize {
+        let n = self.inner.cache.restore(entries);
+        self.inner
+            .metrics
+            .entries_restored
+            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+        n
+    }
+
+    /// Records `n` persisted cache entries that were discarded because
+    /// their snapshot was taken under a different checkpoint.
+    pub fn record_invalidated_entries(&self, n: u64) {
+        self.inner
+            .metrics
+            .entries_invalidated_by_version
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -480,6 +524,12 @@ impl Drop for ServeHandle {
 
 /// The daemon loop: one JSON request per input line, one JSON response
 /// per output line, until EOF or a `shutdown` request.
+///
+/// Both exits drain gracefully: [`ServeHandle::shutdown`] lets in-flight
+/// batches complete, then one final line
+/// `{"final_stats": …}` (the full [`MetricsSnapshot`]/cache surface) is
+/// emitted so operators keep the session's counters even when the client
+/// just closed stdin (`Ctrl-D`).
 pub fn run_daemon<R: BufRead, W: Write>(
     handle: &ServeHandle,
     input: R,
@@ -497,6 +547,13 @@ pub fn run_daemon<R: BufRead, W: Write>(
             break;
         }
     }
+    handle.shutdown();
+    writeln!(
+        output,
+        "{}",
+        obj(vec![("final_stats", handle.stats_json())]).render()
+    )?;
+    output.flush()?;
     Ok(())
 }
 
@@ -600,7 +657,11 @@ void f(int n) {
         let mut out = Vec::new();
         run_daemon(&h, input.as_bytes(), &mut out).unwrap();
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
-        assert_eq!(lines.len(), 4, "daemon must stop at shutdown");
+        assert_eq!(
+            lines.len(),
+            5,
+            "daemon must stop at shutdown, then emit one final_stats line"
+        );
 
         let r1 = Json::parse(lines[0]).unwrap();
         assert_eq!(r1.get("id").unwrap().as_str(), Some("r1"));
@@ -630,6 +691,35 @@ void f(int n) {
         let bye = Json::parse(lines[3]).unwrap();
         assert_eq!(bye.get("shutdown").unwrap().as_bool(), Some(true));
         assert_eq!(bye.get("id").unwrap().as_str(), Some("bye"));
+
+        // Graceful drain: the last line is the session's final counters.
+        let fin = Json::parse(lines[4]).unwrap();
+        let stats = fin.get("final_stats").expect("final_stats line");
+        assert_eq!(stats.get("requests").unwrap().as_f64(), Some(1.0));
+        assert!(stats.get("uptime_us").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            h.inner.batcher.is_shut_down(),
+            "daemon exit must drain the worker pool"
+        );
+    }
+
+    #[test]
+    fn daemon_drains_and_reports_on_eof() {
+        // No shutdown request: the client just closes stdin (Ctrl-D).
+        let h = start(ServeConfig::default());
+        let src_json = Json::from(SRC).render();
+        let input = format!("{{\"op\":\"vectorize\",\"source\":{src_json}}}\n");
+        let mut out = Vec::new();
+        run_daemon(&h, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 2, "response + final_stats");
+        let fin = Json::parse(lines[1]).unwrap();
+        let stats = fin.get("final_stats").expect("EOF must emit final stats");
+        assert_eq!(stats.get("loops_served").unwrap().as_f64(), Some(2.0));
+        assert!(
+            h.inner.batcher.is_shut_down(),
+            "EOF must shut the worker pool down, not just drop it"
+        );
     }
 
     #[test]
@@ -714,8 +804,9 @@ void f(int n) {
 
     #[test]
     fn requests_after_shutdown_fail_fast() {
-        let mut h = start(ServeConfig::default());
+        let h = start(ServeConfig::default());
         h.shutdown();
+        h.shutdown(); // idempotent
         let t0 = std::time::Instant::now();
         let err = h.vectorize(SRC).unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
@@ -723,6 +814,28 @@ void f(int n) {
             t0.elapsed() < std::time::Duration::from_secs(1),
             "post-shutdown requests must not wait out the decision timeout"
         );
+    }
+
+    #[test]
+    fn restored_cache_serves_hits_and_counts() {
+        let h = start(ServeConfig::default());
+        let out = h.vectorize(SRC).unwrap();
+        let snap = h.cache_snapshot();
+        assert!(!snap.is_empty());
+
+        // A second handle seeded from the snapshot serves the same file
+        // entirely from cache — no model forward at all.
+        let h2 = start(ServeConfig::default());
+        assert_eq!(h2.restore_cache(snap.clone()), snap.len());
+        let again = h2.vectorize(SRC).unwrap();
+        assert_eq!(again.source, out.source, "restored decisions must agree");
+        assert!(again.loops.iter().all(|l| l.cached));
+        let m = h2.metrics();
+        assert_eq!(m.entries_restored, snap.len() as u64);
+        assert_eq!(m.batches, 0, "restored entries must skip the model");
+
+        h2.record_invalidated_entries(9);
+        assert_eq!(h2.metrics().entries_invalidated_by_version, 9);
     }
 
     #[test]
@@ -755,9 +868,12 @@ void f(int n) {
         let s = h.stats_json();
         for path in [
             vec!["requests"],
+            vec!["uptime_us"],
             vec!["cache", "hits"],
             vec!["cache", "hit_rate"],
             vec!["cache", "occupancy"],
+            vec!["cache", "entries_restored"],
+            vec!["cache", "entries_invalidated_by_version"],
             vec!["batch", "mean_batch"],
             vec!["latency", "p99_us"],
         ] {

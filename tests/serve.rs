@@ -192,7 +192,7 @@ fn daemon_end_to_end_with_trained_model() {
     let mut out = Vec::new();
     run_daemon(&handle, request.as_bytes(), &mut out).unwrap();
     let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
-    assert_eq!(lines.len(), 4);
+    assert_eq!(lines.len(), 5, "4 responses + the final drain stats line");
 
     let first = Json::parse(lines[0]).unwrap();
     assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
@@ -223,6 +223,11 @@ fn daemon_end_to_end_with_trained_model() {
 
     let bye = Json::parse(lines[3]).unwrap();
     assert_eq!(bye.get("shutdown").unwrap().as_bool(), Some(true));
+
+    // Graceful drain: the daemon's last words are the session counters.
+    let fin = Json::parse(lines[4]).unwrap();
+    let final_stats = fin.get("final_stats").expect("final_stats after shutdown");
+    assert_eq!(final_stats.get("requests").unwrap().as_f64(), Some(2.0));
 }
 
 #[test]
