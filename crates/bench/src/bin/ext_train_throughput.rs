@@ -21,6 +21,13 @@
 //! (`forward_batch_reference`), gated at ≥ 2× with bitwise-equal values,
 //! reported to `BENCH_embed.json`.
 //!
+//! And the **kernels**: the deployed threaded + SIMD-unrolled matmul
+//! against the tiled single-threaded reference baseline
+//! (`matmul_accum_into_tiled`) on the stacked-projection shape. Bitwise
+//! parity is asserted everywhere; the ≥ 2× threaded-speedup gate applies
+//! only on hosts with ≥ 4 detected cores (a single-core runner cannot
+//! speed up by threading, but it must not change a bit either).
+//!
 //! ```text
 //! cargo run --release -p nv-bench --bin ext_train_throughput
 //! ```
@@ -30,7 +37,7 @@ use std::time::Instant;
 
 use nvc_datasets::generator;
 use nvc_embed::{extract_loop_samples, CodeEmbedder, EmbedConfig, PathSample};
-use nvc_nn::{Graph, ParamStore, TensorArena};
+use nvc_nn::{kernels, Graph, ParamStore, Tensor, TensorArena};
 use nvc_rl::{ActionDims, BanditEnv, PpoConfig, PpoTrainer};
 use nvc_serve::json::obj;
 use nvc_serve::Json;
@@ -49,6 +56,17 @@ const TRAIN_BATCH: usize = 64;
 const POOL_SIZE: usize = 12;
 const REPS: usize = 5;
 const EMBED_REPS: usize = 10;
+/// Threaded-kernel gate: required speedup of the deployed kernel at
+/// `cores` threads over the tiled single-threaded baseline…
+const KERNEL_ACCEPTANCE_RATIO: f64 = 2.0;
+/// …applied only when at least this many cores are detected (parity is
+/// asserted regardless of the core count).
+const KERNEL_GATE_MIN_CORES: usize = 4;
+/// Stacked-projection rows for the kernel measurement: a rollout batch's
+/// worth of distinct contexts × ~paths each, the shape `segment_matmul`
+/// actually feeds the kernel.
+const KERNEL_ROWS: usize = 512;
+const KERNEL_REPS: usize = 30;
 
 /// A fixed loop pool with a cheap deterministic reward: the bench
 /// measures collection cost, so the environment must be ~free.
@@ -152,6 +170,72 @@ fn encoder_only(env: &PoolEnv) -> EncoderOnly {
         per_sample_bps,
         segmented_bps,
         segmented_nodedup_bps,
+        parity,
+    }
+}
+
+/// Threaded/unrolled-kernel measurements on the stacked projection shape
+/// (`KERNEL_ROWS×384 · 384×340`, the paper-size `ctx·W`).
+struct KernelBench {
+    /// Detected hardware parallelism.
+    cores: usize,
+    /// Products/sec of the tiled single-threaded reference baseline.
+    tiled_pps: f64,
+    /// Products/sec of the deployed kernel pinned to 1 thread (isolates
+    /// the 8-wide unroll).
+    unrolled_pps: f64,
+    /// Products/sec of the deployed kernel at `cores` threads.
+    threaded_pps: f64,
+    /// Bitwise equality of both deployed variants vs the tiled baseline.
+    parity: bool,
+}
+
+fn threaded_kernels() -> KernelBench {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = EmbedConfig::paper();
+    let (m, k, n) = (KERNEL_ROWS, cfg.context_width(), cfg.code_dim);
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let a = Tensor::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let b = Tensor::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+
+    let mut tiled = Tensor::zeros(m, n);
+    a.matmul_accum_into_tiled(&b, &mut tiled);
+    kernels::set_matmul_threads(1);
+    let unrolled = a.matmul(&b);
+    kernels::set_matmul_threads(cores);
+    let threaded = a.matmul(&b);
+    let parity = unrolled == tiled && threaded == tiled;
+
+    let time = |run: &dyn Fn() -> Tensor| {
+        let t0 = Instant::now();
+        for _ in 0..KERNEL_REPS {
+            std::hint::black_box(run());
+        }
+        KERNEL_REPS as f64 / t0.elapsed().as_secs_f64()
+    };
+    let tiled_pps = {
+        kernels::set_matmul_threads(1);
+        time(&|| {
+            let mut out = Tensor::zeros(m, n);
+            a.matmul_accum_into_tiled(&b, &mut out);
+            out
+        })
+    };
+    let unrolled_pps = {
+        kernels::set_matmul_threads(1);
+        time(&|| a.matmul(&b))
+    };
+    let threaded_pps = {
+        kernels::set_matmul_threads(cores);
+        time(&|| a.matmul(&b))
+    };
+    kernels::set_matmul_threads(kernels::default_matmul_threads());
+
+    KernelBench {
+        cores,
+        tiled_pps,
+        unrolled_pps,
+        threaded_pps,
         parity,
     }
 }
@@ -265,6 +349,48 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("could not write BENCH_embed.json: {e}"),
     }
 
+    // Kernel-level gate: deployed threaded + unrolled matmul vs the
+    // tiled single-threaded reference on the stacked-projection shape.
+    // Parity is asserted on every host; the ≥ 2× speedup gate only on
+    // hosts with enough cores for threading to be able to win.
+    let kb = threaded_kernels();
+    let kernel_ratio = kb.threaded_pps / kb.tiled_pps;
+    let unrolled_ratio = kb.unrolled_pps / kb.tiled_pps;
+    // Parity failures flow through kernel_pass (not an assert) so the
+    // report below still prints and BENCH_train.json still records
+    // `kernel_parity: false` before the process exits nonzero.
+    let kernel_gate_applied = kb.cores >= KERNEL_GATE_MIN_CORES;
+    let kernel_pass =
+        kb.parity && (!kernel_gate_applied || kernel_ratio >= KERNEL_ACCEPTANCE_RATIO);
+    println!(
+        "\n== kernels ({KERNEL_ROWS}x384 · 384x340 stacked projection, {} core(s) detected) ==",
+        kb.cores
+    );
+    println!("{:<34} {:>16}", "kernel", "products/s");
+    println!(
+        "{:<34} {:>16.1}",
+        "tiled 1-thread (reference)", kb.tiled_pps
+    );
+    println!("{:<34} {:>16.1}", "unrolled 1-thread", kb.unrolled_pps);
+    println!(
+        "{:<34} {:>16.1}",
+        format!("unrolled {} threads", kb.cores),
+        kb.threaded_pps
+    );
+    println!(
+        "kernel parity (bitwise vs tiled): {}",
+        if kb.parity { "ok" } else { "MISMATCH" }
+    );
+    println!(
+        "threaded/tiled kernel speedup: {kernel_ratio:.2}x (unrolled alone: {unrolled_ratio:.2}x); \
+         acceptance >= {KERNEL_ACCEPTANCE_RATIO:.0}x {}",
+        if kernel_gate_applied {
+            "applies (>= 4 cores)"
+        } else {
+            "not applied (< 4 cores — parity only)"
+        }
+    );
+
     let report = obj(vec![
         ("bench", Json::from("ext_train_throughput")),
         ("train_batch", Json::from(TRAIN_BATCH)),
@@ -275,14 +401,34 @@ fn main() -> ExitCode {
         ("speedup", Json::from(ratio)),
         ("acceptance_ratio", Json::from(ACCEPTANCE_RATIO)),
         ("parity", Json::from(parity)),
-        ("pass", Json::from(pass)),
+        ("kernel_cores_detected", Json::from(kb.cores)),
+        ("kernel_rows", Json::from(KERNEL_ROWS)),
+        ("kernel_tiled_products_per_sec", Json::from(kb.tiled_pps)),
+        (
+            "kernel_unrolled_products_per_sec",
+            Json::from(kb.unrolled_pps),
+        ),
+        (
+            "kernel_threaded_products_per_sec",
+            Json::from(kb.threaded_pps),
+        ),
+        ("kernel_threaded_ratio", Json::from(kernel_ratio)),
+        ("kernel_unrolled_ratio", Json::from(unrolled_ratio)),
+        (
+            "kernel_acceptance_ratio",
+            Json::from(KERNEL_ACCEPTANCE_RATIO),
+        ),
+        ("kernel_gate_applied", Json::from(kernel_gate_applied)),
+        ("kernel_parity", Json::from(kb.parity)),
+        ("kernel_pass", Json::from(kernel_pass)),
+        ("pass", Json::from(pass && kernel_pass)),
     ]);
     match std::fs::write("BENCH_train.json", report.render() + "\n") {
         Ok(()) => println!("wrote BENCH_train.json"),
         Err(e) => eprintln!("could not write BENCH_train.json: {e}"),
     }
 
-    if pass && embed_pass {
+    if pass && embed_pass && kernel_pass {
         println!("PASS");
         ExitCode::SUCCESS
     } else {

@@ -30,12 +30,18 @@ use nvc_ir::ParamEnv;
 use nvc_vectorizer::ActionSpace;
 
 const USAGE: &str = "usage:
-  nvc train [--kernels N] [--iterations N] [--seed N] --out FILE
+  nvc train [--kernels N] [--iterations N] [--seed N] [--matmul-threads N] --out FILE
   nvc vectorize FILE.c [--model FILE]
   nvc inspect FILE.c [--n VALUE]
   nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
+            [--matmul-threads N]
   nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
-          [--cache-file PATH] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]";
+          [--cache-file PATH] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
+          [--matmul-threads N]
+
+--matmul-threads shards the nvc-nn matmul kernels' output rows across N
+scoped worker threads (default: NVC_MATMUL_THREADS or 1); results are
+bitwise-identical at any value.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +71,7 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::value("--iterations"),
         Flag::value("--seed"),
         Flag::value("--out"),
+        Flag::value("--matmul-threads"),
     ];
     let p = parse_args(args, FLAGS, USAGE)?;
     no_positionals(&p, "train")?;
@@ -76,7 +83,10 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("train requires --out FILE")?
         .to_string();
 
-    let cfg = NvConfig::fast().with_seed(seed);
+    let mut cfg = NvConfig::fast().with_seed(seed);
+    if let Some(n) = p.parse_value::<usize>("--matmul-threads")? {
+        cfg.matmul_threads = n.max(1);
+    }
     let pool = generator::generate(seed, kernels);
     eprintln!(
         "training on {} kernels, {iterations} iterations…",
@@ -158,15 +168,19 @@ fn apply_serve_flags(cfg: &mut NvConfig, p: &ParsedArgs) -> Result<(), String> {
     if let Some(n) = p.parse_value::<usize>("--shards")? {
         cfg.serve.cache_shards = n.max(1);
     }
+    if let Some(n) = p.parse_value::<usize>("--matmul-threads")? {
+        cfg.matmul_threads = n.max(1);
+    }
     Ok(())
 }
 
-const SERVE_KNOBS: [Flag; 5] = [
+const SERVE_KNOBS: [Flag; 6] = [
     Flag::value("--workers"),
     Flag::value("--batch"),
     Flag::value("--flush-us"),
     Flag::value("--cache"),
     Flag::value("--shards"),
+    Flag::value("--matmul-threads"),
 ];
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -186,12 +200,13 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let serve_cfg = nv.config().serve.clone();
     eprintln!(
-        "nvc serve: ready ({} workers, batch {}, flush {}µs, cache {} entries / {} shards); one JSON request per line",
+        "nvc serve: ready ({} workers, batch {}, flush {}µs, cache {} entries / {} shards, {} matmul thread(s)); one JSON request per line",
         serve_cfg.workers,
         serve_cfg.batch_size,
         serve_cfg.flush_deadline_us,
         serve_cfg.cache_capacity,
-        serve_cfg.cache_shards
+        serve_cfg.cache_shards,
+        nv.config().matmul_threads.max(1)
     );
     let handle = nv.serve();
     let stdin = std::io::stdin();

@@ -34,6 +34,16 @@ pub struct NvConfig {
     /// Hub-tier configuration (`nvc hub`: TCP transport, model registry,
     /// persistent cache).
     pub hub: HubConfig,
+    /// Worker threads for the `nvc-nn` matmul family (`0`/`1` =
+    /// single-threaded). Analogous to `ppo.collect_threads` one layer
+    /// down: output rows of every `matmul`/`matmul_tn`/`matmul_nt` and
+    /// the fused `Graph::linear` shard across scoped threads with each
+    /// element's accumulation order untouched, so any thread count is
+    /// bitwise-identical to single-threaded — training, serving and the
+    /// hub all inherit the knob through [`NeuroVectorizer::new`], which
+    /// applies it process-wide (`nvc_nn::kernels::set_matmul_threads`).
+    /// Defaults to the `NVC_MATMUL_THREADS` environment variable (or 1).
+    pub matmul_threads: usize,
     /// Seed for parameter init and exploration.
     pub seed: u64,
 }
@@ -56,6 +66,7 @@ impl NvConfig {
             },
             serve: ServeConfig::default(),
             hub: HubConfig::default(),
+            matmul_threads: nvc_nn::kernels::default_matmul_threads(),
             seed: 0,
         }
     }
@@ -82,6 +93,7 @@ impl NvConfig {
             },
             serve: ServeConfig::default(),
             hub: HubConfig::default(),
+            matmul_threads: nvc_nn::kernels::default_matmul_threads(),
             seed: 0,
         }
     }
@@ -89,6 +101,13 @@ impl NvConfig {
     /// Overrides the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the kernel worker count (builder style). Purely a
+    /// throughput dial: results are bitwise-identical at any value.
+    pub fn with_matmul_threads(mut self, threads: usize) -> Self {
+        self.matmul_threads = threads;
         self
     }
 }
@@ -103,7 +122,16 @@ pub struct NeuroVectorizer {
 
 impl NeuroVectorizer {
     /// Creates an untrained framework instance.
+    ///
+    /// Applies `cfg.matmul_threads` process-wide
+    /// (`nvc_nn::kernels::set_matmul_threads`) so everything downstream
+    /// of this model — training iterations, `nvc-serve` worker flushes,
+    /// hub `reload`s through [`NeuroVectorizer::hub_loader`] — runs the
+    /// threaded kernels. The knob is last-writer-wins across instances,
+    /// which is safe because every thread count is bitwise-identical; it
+    /// only changes throughput.
     pub fn new(cfg: NvConfig) -> Self {
+        nvc_nn::kernels::set_matmul_threads(cfg.matmul_threads);
         let trainer = PpoTrainer::new(&cfg.ppo, &cfg.embed, cfg.seed);
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x9E37));
         NeuroVectorizer { cfg, trainer, rng }

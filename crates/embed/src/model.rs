@@ -177,7 +177,14 @@ impl CodeEmbedder {
     /// per-sample so table gradients scatter in the per-sample order),
     /// the whole concatenated context matrix goes through one projection
     /// + `tanh`, and attention is one `segment_softmax_rows` +
-    /// `segment_weighted_sum` over a [`Segments`] row partition. The
+    /// `segment_weighted_sum` over a [`Segments`] row partition. That
+    /// single stacked `N×context_width · context_width×code_dim`
+    /// projection is the flop-dominant matmul of the whole system, and
+    /// the segmented layout makes it row-parallel: with
+    /// `NvConfig::matmul_threads > 1` the `nvc-nn` kernel shards its
+    /// output rows across scoped threads (and runs 8-wide unrolled inner
+    /// loops) while keeping every row's accumulation order — and thus
+    /// bitwise parity — intact. The
     /// segment kernels fix their reduction order per segment, so values
     /// *and* parameter gradients stay bitwise-identical to the
     /// per-sample spelling ([`CodeEmbedder::forward_batch_reference`],

@@ -132,7 +132,10 @@ impl std::error::Error for HubError {}
 
 /// Loads a checkpoint file into a servable model: returns the model and
 /// its content hash. The CLI wires this to `NeuroVectorizer::restore` +
-/// `nvc_nn::serialize::checkpoint_hash_text`; tests use stubs.
+/// `nvc_nn::serialize::checkpoint_hash_text`; tests use stubs. A loader
+/// built from an `NvConfig` (`NeuroVectorizer::hub_loader`) re-applies
+/// that config's `matmul_threads` on every `reload`, so hot-swapped
+/// models keep running the threaded kernels.
 pub type CheckpointLoader =
     Box<dyn Fn(&str) -> Result<(Arc<dyn DecisionModel>, u64), String> + Send + Sync>;
 

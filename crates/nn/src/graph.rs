@@ -351,25 +351,58 @@ impl<'s> Graph<'s> {
     /// results bitwise-identical to `matmul` followed by
     /// [`Graph::add_row_broadcast`].
     ///
+    /// The whole fusion is row-parallel: each worker of the sharded
+    /// kernel driver runs its rows' matmul *and* their bias add in one
+    /// pass, so the threaded path never rescans the output. Per element
+    /// the bias still lands after the complete ascending-`k` product
+    /// chain — exactly the unfused order — keeping the fused, unfused,
+    /// and threaded spellings bitwise-identical.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch or when `b` is not `1 × W.cols()`.
     pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
-        let rows = self.values[x.0].rows();
+        let (rows, kd) = self.values[x.0].shape();
         let cols = self.values[w.0].cols();
         {
             let bv = &self.values[b.0];
             assert_eq!(bv.rows(), 1, "bias must be a row vector");
             assert_eq!(bv.cols(), cols, "bias width mismatch");
         }
+        assert_eq!(
+            kd,
+            self.values[w.0].rows(),
+            "matmul shape mismatch: {}x{} × {}x{}",
+            rows,
+            kd,
+            self.values[w.0].rows(),
+            cols
+        );
         let mut out = self.alloc(rows, cols);
-        self.values[x.0].matmul_accum_into(&self.values[w.0], &mut out);
-        let bias = self.values[b.0].data();
-        for r in 0..rows {
-            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-            for (o, &bb) in row.iter_mut().zip(bias.iter()) {
-                *o += bb;
-            }
+        {
+            let xv = &self.values[x.0];
+            let wv = &self.values[w.0];
+            let bias = self.values[b.0].data();
+            let threads = crate::kernels::effective_threads(
+                rows,
+                rows.saturating_mul(kd).saturating_mul(cols),
+            );
+            crate::kernels::run_row_sharded(
+                threads,
+                rows,
+                cols,
+                out.data_mut(),
+                &|r0, r1, out_rows| {
+                    crate::kernels::mm_rows(xv.data(), wv.data(), kd, cols, r0, r1, out_rows);
+                    if cols > 0 {
+                        for row in out_rows.chunks_exact_mut(cols) {
+                            for (o, &bb) in row.iter_mut().zip(bias.iter()) {
+                                *o += bb;
+                            }
+                        }
+                    }
+                },
+            );
         }
         self.push(Op::Linear(x, w, b), out)
     }

@@ -6,9 +6,14 @@
 //! minimal differentiable-programming stack those components need, with no
 //! external ML dependencies:
 //!
-//! * [`Tensor`] — dense row-major `f32` matrices with cache-blocked
-//!   matmul and transpose-free `Aᵀ·B` / `A·Bᵀ` kernels for the backward
-//!   pass;
+//! * [`Tensor`] — dense row-major `f32` matrices with a threaded,
+//!   SIMD-explicit matmul family ([`kernels`]: 8-wide unrolled inner
+//!   loops, output rows sharded across scoped worker threads behind a
+//!   strict bitwise-parity contract — any thread count produces the
+//!   single-threaded bits) plus transpose-free `Aᵀ·B` / `A·Bᵀ` kernels
+//!   for the backward pass; the cache-blocked tiled kernel is retained
+//!   as the reference baseline
+//!   ([`Tensor::matmul_accum_into_tiled`]);
 //! * [`Graph`] — a tape of operations supporting `matmul`, a fused
 //!   `linear` (matmul + bias broadcast in one node), broadcasting adds,
 //!   `tanh`/`relu`/`exp`/`ln`, row softmax / log-softmax, embedding
@@ -61,6 +66,7 @@
 
 pub mod arena;
 pub mod graph;
+pub mod kernels;
 pub mod params;
 pub mod serialize;
 pub mod tensor;

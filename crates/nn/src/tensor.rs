@@ -5,6 +5,8 @@ use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels;
+
 /// A dense matrix of `f32` in row-major order.
 ///
 /// Vectors are represented as `1×n` or `n×1` matrices; scalars as `1×1`.
@@ -127,13 +129,16 @@ impl Tensor {
 
     /// Accumulates `self × other` into `out` (`out += self × other`).
     ///
-    /// The kernel is cache-blocked over `k` and the output columns so the
-    /// active tile of `other` (at most `MM_KB × MM_JB` floats, 16 KiB)
-    /// stays resident in L1 while every row of `self` streams over it.
-    /// For each output element the partial products are still summed in
-    /// ascending `k`, so results are bitwise-identical to the textbook
-    /// i-k-j loop — and each output row depends only on its own input
-    /// row, which is what keeps batched forwards equal to per-sample
+    /// The deployed kernel: the tiled loop of
+    /// [`Tensor::matmul_accum_into_tiled`] with its inner columns run as
+    /// explicit 8-wide register-accumulator blocks, and the output rows
+    /// optionally sharded across scoped worker threads
+    /// ([`crate::kernels::set_matmul_threads`]; small products stay
+    /// serial under the work floor). For each output element the partial
+    /// products are still summed in ascending `k` — unroll lanes are
+    /// independent elements and shards are whole rows — so results are
+    /// bitwise-identical to the textbook i-k-j loop at **any** thread
+    /// count, which is what keeps batched forwards equal to per-sample
     /// forwards. Dense data takes no branches in the inner loop and
     /// `0 × NaN` propagates as NaN (IEEE semantics, no zero-skip).
     ///
@@ -141,6 +146,35 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn matmul_accum_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let (m, kd, n) = (self.rows, self.cols, other.cols);
+        let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));
+        kernels::run_row_sharded(threads, m, n, &mut out.data, &|r0, r1, rows| {
+            kernels::mm_rows(&self.data, &other.data, kd, n, r0, r1, rows);
+        });
+    }
+
+    /// The cache-blocked single-threaded kernel, retained as the
+    /// reference baseline the threaded/unrolled
+    /// [`Tensor::matmul_accum_into`] is parity-tested and benchmarked
+    /// against: 64×64 tiles of `other` stay L1-resident while every row
+    /// of `self` streams over them, and each output element sums its
+    /// partial products in ascending `k` (bitwise-equal to the textbook
+    /// i-k-j loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_accum_into_tiled(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
@@ -197,6 +231,10 @@ impl Tensor {
 
     /// Accumulates `selfᵀ × other` into `out` (see [`Tensor::matmul_tn`]).
     ///
+    /// Output rows (columns of `self`) shard across worker threads under
+    /// the same parity contract as [`Tensor::matmul_accum_into`]; the
+    /// inner columns run through the 8-wide unrolled `axpy` block.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
@@ -208,16 +246,11 @@ impl Tensor {
         );
         let (m, n) = (self.cols, other.cols);
         assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
-        for k in 0..self.rows {
-            let a_row = &self.data[k * m..(k + 1) * m];
-            let b_row = &other.data[k * n..(k + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let kr = self.rows;
+        let threads = kernels::effective_threads(m, kr.saturating_mul(m).saturating_mul(n));
+        kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
+            kernels::tn_rows(&self.data, &other.data, kr, m, n, i0, i1, rows);
+        });
     }
 
     /// `self × otherᵀ` without materializing the transpose.
@@ -238,6 +271,10 @@ impl Tensor {
 
     /// Accumulates `self × otherᵀ` into `out` (see [`Tensor::matmul_nt`]).
     ///
+    /// Output rows shard across worker threads under the same parity
+    /// contract as [`Tensor::matmul_accum_into`]; four output columns run
+    /// as independent dot-product accumulators per step.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
@@ -249,18 +286,10 @@ impl Tensor {
         );
         let (m, kd, n) = (self.rows, self.cols, other.rows);
         assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
-        for i in 0..m {
-            let a_row = &self.data[i * kd..(i + 1) * kd];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * kd..(j + 1) * kd];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o += acc;
-            }
-        }
+        let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));
+        kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
+            kernels::nt_rows(&self.data, &other.data, kd, n, i0, i1, rows);
+        });
     }
 
     /// Transposed copy.
@@ -480,6 +509,40 @@ mod tests {
             let reference = matmul_reference(&a, &b);
             assert_eq!(tiled, reference, "tiled kernel diverged at {m}x{k}x{n}");
         }
+    }
+
+    /// The deployed (unrolled, optionally threaded) kernel and the tiled
+    /// reference baseline must agree bitwise at every thread count,
+    /// including shapes that straddle the 8-wide unroll blocks.
+    #[test]
+    fn deployed_matmul_matches_tiled_baseline_at_any_thread_count() {
+        let _guard = crate::kernels::KNOB_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::kernels::set_matmul_grain(1);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 70, 13),
+            (17, 130, 65),
+            (9, 3, 100),
+        ] {
+            let a = random_tensor(m, k, (m * 31 + n) as u64);
+            let b = random_tensor(k, n, (k * 17 + 5) as u64);
+            let mut tiled = Tensor::zeros(m, n);
+            a.matmul_accum_into_tiled(&b, &mut tiled);
+            for threads in [1usize, 2, 3, 8] {
+                crate::kernels::set_matmul_threads(threads);
+                assert_eq!(
+                    a.matmul(&b),
+                    tiled,
+                    "deployed kernel diverged at {m}x{k}x{n}, {threads} threads"
+                );
+            }
+        }
+        // Restore the configured defaults (env-aware, not a hardcoded 1)
+        // so the NVC_MATMUL_THREADS CI leg stays threaded after this test.
+        crate::kernels::set_matmul_threads(crate::kernels::default_matmul_threads());
+        crate::kernels::set_matmul_grain(crate::kernels::DEFAULT_MATMUL_GRAIN);
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub struct PpoConfig {
     /// shared [`TensorArena`]; every output row is a function of its own
     /// input row only, so transitions stay bitwise-identical to the
     /// single-threaded (and per-sample) paths at any thread count.
+    ///
+    /// Composes with the kernel-level `NvConfig::matmul_threads` knob one
+    /// layer down (`nvc_nn::kernels`): each collect shard's stacked
+    /// projection and policy matmuls may further row-shard inside the
+    /// kernel, and both layers preserve bitwise parity independently, so
+    /// any `{collect_threads, matmul_threads}` combination produces the
+    /// same transitions.
     pub collect_threads: usize,
 }
 

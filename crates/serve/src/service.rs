@@ -177,6 +177,13 @@ pub struct ServeHandle {
 
 impl ServeHandle {
     /// Starts the worker pool around `model`.
+    ///
+    /// Each worker's flush batches run the model's batched forward,
+    /// whose matmuls may themselves shard rows across scoped kernel
+    /// threads (`NvConfig::matmul_threads`, applied process-wide when
+    /// the model is constructed). The two thread layers nest freely:
+    /// kernel shards are bitwise-identical at any count, so worker
+    /// concurrency never changes a decision, only its latency.
     pub fn start(model: Arc<dyn DecisionModel>, cfg: ServeConfig) -> Self {
         let space = ActionSpace::for_target(model.target());
         let inner = Arc::new(Inner {

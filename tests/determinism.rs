@@ -6,6 +6,7 @@ use neurovectorizer::experiments::{fig1_dot_product_grid, fig2_bruteforce_suite}
 use neurovectorizer::{NeuroVectorizer, NvConfig, VectorizeEnv};
 use nvc_datasets::{generator, suite};
 use nvc_machine::TargetConfig;
+use nvc_rl::ActionSpaceKind;
 
 #[test]
 fn generator_streams_are_reproducible() {
@@ -50,6 +51,73 @@ fn figure_data_is_reproducible() {
     let t = TargetConfig::i7_8559u();
     assert_eq!(fig1_dot_product_grid(&t), fig1_dot_product_grid(&t));
     assert_eq!(fig2_bruteforce_suite(&t), fig2_bruteforce_suite(&t));
+}
+
+/// The kernel-threading determinism bar, end to end: a full train ➝
+/// checkpoint ➝ serve run must be **bitwise**-equal across every
+/// `{matmul_threads, collect_threads}` combination drawn from {1, 3, 8},
+/// for all three action spaces. Equal checkpoints mean every f32 of
+/// every weight matches after training through the threaded kernels;
+/// equal served decisions mean the batched serving path (whose flush
+/// matmuls also shard) agrees too.
+///
+/// The matmul thread count is a process-global knob, so sibling tests in
+/// this binary constructing their own models can reset it mid-run; that
+/// race is exactly what the parity contract makes benign (and what this
+/// assertion would catch if it weren't). Deterministic
+/// every-thread-count kernel coverage lives in `tests/kernel_parity.rs`;
+/// here the work floor is dropped so whatever count is live really
+/// shards even at fast-config sizes.
+#[test]
+fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
+    nvc_nn::kernels::set_matmul_grain(1);
+    for kind in [
+        ActionSpaceKind::Discrete,
+        ActionSpaceKind::Continuous1D,
+        ActionSpaceKind::Continuous2D,
+    ] {
+        let run = |matmul_threads: usize, collect_threads: usize| {
+            let mut cfg = NvConfig::fast()
+                .with_seed(19)
+                .with_matmul_threads(matmul_threads);
+            cfg.ppo.collect_threads = collect_threads;
+            cfg.ppo.action_space = kind;
+            cfg.ppo.train_batch = 24;
+            cfg.ppo.minibatch = 8;
+            cfg.ppo.epochs = 2;
+            let mut env =
+                VectorizeEnv::new(generator::generate(7, 6), cfg.target.clone(), &cfg.embed);
+            let mut nv = NeuroVectorizer::new(cfg);
+            let stats: Vec<(u64, u64)> = nv
+                .train(&mut env, 2)
+                .iter()
+                .map(|s| (s.reward_mean.to_bits(), s.loss.to_bits()))
+                .collect();
+            let checkpoint = nv.checkpoint();
+            let samples: Vec<_> = env.contexts().iter().map(|c| c.sample.clone()).collect();
+            // Re-assert the knob for the serve leg in case a sibling
+            // test reset the global mid-train (see the doc above).
+            nvc_nn::kernels::set_matmul_threads(matmul_threads);
+            let handle = nv.serve();
+            let decisions: Vec<(usize, usize)> = samples
+                .iter()
+                .map(|s| handle.decide_sample(s).expect("serve decision").0)
+                .collect();
+            handle.shutdown();
+            (stats, checkpoint, decisions)
+        };
+
+        let baseline = run(1, 1);
+        for (mt, ct) in [(3, 1), (8, 1), (1, 3), (3, 3), (1, 8), (8, 8)] {
+            assert_eq!(
+                run(mt, ct),
+                baseline,
+                "train-then-serve diverged for {kind:?} at matmul_threads={mt}, collect_threads={ct}"
+            );
+        }
+    }
+    nvc_nn::kernels::set_matmul_threads(nvc_nn::kernels::default_matmul_threads());
+    nvc_nn::kernels::set_matmul_grain(nvc_nn::kernels::DEFAULT_MATMUL_GRAIN);
 }
 
 #[test]

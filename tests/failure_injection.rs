@@ -137,6 +137,59 @@ fn checkpoint_corruption_is_detected() {
     assert!(nv.restore(&truncated).is_err());
 }
 
+/// A panicking worker inside the threaded matmul must propagate to the
+/// caller — no hang (the scoped driver joins every shard before
+/// re-panicking) — and must not poison the shared arena: the half-written
+/// output tensor never reaches the tape, recycled buffers are zeroed on
+/// reuse, so subsequent graphs over the *same* arena compute clean bits.
+#[test]
+fn threaded_matmul_worker_panic_propagates_without_tearing_the_arena() {
+    use nvc_nn::{kernels, Graph, ParamStore, Tensor, TensorArena};
+
+    // 53 rows with a distinctive total: no other test in this binary
+    // builds a 53-row product, so arming the hook cannot hit them.
+    const ROWS: usize = 53;
+    let a = Tensor::from_vec(
+        ROWS,
+        8,
+        (0..ROWS * 8).map(|i| (i as f32 * 0.3).sin()).collect(),
+    );
+    let b = Tensor::from_vec(8, 6, (0..48).map(|i| (i as f32 * 0.7).cos()).collect());
+    let want = {
+        let mut out = Tensor::zeros(ROWS, 6);
+        a.matmul_accum_into_tiled(&b, &mut out);
+        out
+    };
+
+    kernels::set_matmul_threads(4);
+    kernels::set_matmul_grain(1);
+    let store = ParamStore::new(0);
+    let arena = TensorArena::new();
+    kernels::inject_worker_panic(20, ROWS);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut g = Graph::with_arena(&store, &arena);
+        let an = g.input(a.clone());
+        let bn = g.input(b.clone());
+        let _ = g.matmul(an, bn);
+    }));
+    kernels::clear_worker_panic();
+    assert!(outcome.is_err(), "worker panic must reach the caller");
+
+    // The arena survives: a fresh graph drawing the recycled buffers
+    // computes exactly the reference bits (no torn rows resurface).
+    for _ in 0..2 {
+        let mut g = Graph::with_arena(&store, &arena);
+        let an = g.input(a.clone());
+        let bn = g.input(b.clone());
+        let mm = g.matmul(an, bn);
+        assert_eq!(g.value(mm), &want, "post-panic arena graph diverged");
+    }
+    // Restore the *configured* defaults (not a hardcoded 1) so the
+    // NVC_MATMUL_THREADS CI leg keeps threading the rest of this binary.
+    kernels::set_matmul_threads(kernels::default_matmul_threads());
+    kernels::set_matmul_grain(kernels::DEFAULT_MATMUL_GRAIN);
+}
+
 #[test]
 fn huge_requested_factors_never_escape_clamping() {
     // Whatever the caller asks for, the target caps apply.

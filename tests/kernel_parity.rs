@@ -1,0 +1,246 @@
+//! Kernel-parity tier: the threaded (1/2/3/8 workers) and SIMD-unrolled
+//! matmul kernels must be **bitwise**-identical to their textbook
+//! spellings — values and gradients — over arbitrary shapes (including
+//! `m = 0`, `k = 0`, `n = 1` and widths straddling the 8-wide unroll
+//! blocks) and over hostile payloads (±0, quiet/signalling NaNs, ±∞,
+//! subnormals), in the `serialize` proptest style: NaNs compare by bits.
+//!
+//! The work floor is pinned to 1 for the whole binary so the requested
+//! thread counts really shard even on deliberately tiny shapes. The
+//! thread knob is process-global, so tests in this binary may race on
+//! it — harmless by construction, since every value under test is
+//! asserted to produce the same bits.
+
+use nvc_nn::{kernels, Graph, ParamStore, Tensor};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const THREAD_MATRIX: [usize; 4] = [1, 2, 3, 8];
+
+/// Forces real sharding regardless of shape size (idempotent; never
+/// restored inside this binary so concurrent tests can't undo it).
+fn force_sharding() {
+    kernels::set_matmul_grain(1);
+}
+
+/// Bit patterns spanning every special f32 class (mirrors the
+/// `serialize` roundtrip proptest): ±0, quiet NaN with payload,
+/// signalling NaN, ±∞, subnormals.
+fn special_f32(class: u64, bits: u32) -> f32 {
+    f32::from_bits(match class % 7 {
+        0 => 0x0000_0000,
+        1 => 0x8000_0000,
+        2 => 0x7FC0_0001,
+        3 => 0x7F80_0001,
+        4 => 0x7F80_0000 | (bits & 0x8000_0000),
+        5 => bits & 0x007F_FFFF | 1,
+        _ => 0x0000_0001,
+    })
+}
+
+/// A tensor of mostly ordinary values with ~25% special payloads mixed
+/// in, so every kernel path sees NaN/∞/subnormal arithmetic.
+fn wild_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                if rng.gen_range(0..4usize) == 0 {
+                    special_f32(rng.gen_range(0..7u64), rng.gen_range(0..u32::MAX))
+                } else {
+                    rng.gen_range(-2.0..2.0)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn finite_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+/// Bit view: the comparison NaN payloads survive.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Textbook i-k-j matmul — the parity reference. Ascending-`k`
+/// accumulation per output element, exactly the order the tiled,
+/// unrolled, and threaded kernels all preserve.
+fn matmul_textbook(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            for j in 0..b.cols() {
+                out[(i, j)] += a[(i, k)] * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Deployed matmul/tn/nt vs their textbook spellings at one thread
+/// count, bit for bit.
+fn check_kernel_family(m: usize, k: usize, n: usize, seed: u64, threads: usize) {
+    kernels::set_matmul_threads(threads);
+    let ctx = format!("m={m} k={k} n={n} seed={seed} threads={threads}");
+
+    // matmul: m×k · k×n.
+    let a = wild_tensor(m, k, seed);
+    let b = wild_tensor(k, n, seed ^ 0x5DEECE66);
+    let want = matmul_textbook(&a, &b);
+    assert_eq!(bits(&a.matmul(&b)), bits(&want), "matmul diverged [{ctx}]");
+    let mut tiled = Tensor::zeros(m, n);
+    a.matmul_accum_into_tiled(&b, &mut tiled);
+    assert_eq!(bits(&tiled), bits(&want), "tiled baseline diverged [{ctx}]");
+
+    // matmul_tn: (k×m)ᵀ · k×n — shared leading dim k.
+    let at = wild_tensor(k, m, seed ^ 0xA5A5);
+    let want_tn = matmul_textbook(&at.transposed(), &b);
+    assert_eq!(
+        bits(&at.matmul_tn(&b)),
+        bits(&want_tn),
+        "matmul_tn diverged [{ctx}]"
+    );
+
+    // matmul_nt: m×k · (n×k)ᵀ — shared trailing dim k.
+    let w = wild_tensor(n, k, seed ^ 0xC3C3);
+    let want_nt = matmul_textbook(&a, &w.transposed());
+    assert_eq!(
+        bits(&a.matmul_nt(&w)),
+        bits(&want_nt),
+        "matmul_nt diverged [{ctx}]"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes (zero dims and unroll-straddling widths included) ×
+    /// hostile payloads × the full thread matrix: every deployed kernel
+    /// matches the textbook bits.
+    #[test]
+    fn prop_threaded_unrolled_kernels_match_textbook_bitwise(
+        m in 0usize..12,
+        k in 0usize..40,
+        n in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        force_sharding();
+        for threads in THREAD_MATRIX {
+            check_kernel_family(m, k, n, seed, threads);
+        }
+    }
+
+    /// The fused `Graph::linear` — forward values AND the gradients that
+    /// flow back through `matmul_nt` (dx), `matmul_tn` (dW) and the bias
+    /// column sum (db) — is bitwise-stable across the thread matrix and
+    /// equal to the unfused matmul + broadcast spelling.
+    #[test]
+    fn prop_linear_values_and_grads_bitwise_across_threads(
+        m in 1usize..10,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        force_sharding();
+        let mut store = ParamStore::new(seed);
+        let x_init = finite_tensor(m, k, seed ^ 0x11);
+        let w = store.param("w", finite_tensor(k, n, seed ^ 0x22));
+        let b = store.param("b", finite_tensor(1, n, seed ^ 0x33));
+
+        let run_fused = || {
+            let mut g = Graph::new(&store);
+            let x = g.input(x_init.clone());
+            let (wn, bn) = (g.param(w), g.param(b));
+            let y = g.linear(x, wn, bn);
+            let t = g.tanh(y);
+            let loss = g.sum_all(t);
+            g.backward(loss);
+            let grads = g.param_grads();
+            (
+                bits(g.value(y)),
+                bits(g.grad(x).expect("dx")),
+                bits(&grads[&w]),
+                bits(&grads[&b]),
+            )
+        };
+        let run_unfused = || {
+            let mut g = Graph::new(&store);
+            let x = g.input(x_init.clone());
+            let (wn, bn) = (g.param(w), g.param(b));
+            let mm = g.matmul(x, wn);
+            let y = g.add_row_broadcast(mm, bn);
+            let t = g.tanh(y);
+            let loss = g.sum_all(t);
+            g.backward(loss);
+            let grads = g.param_grads();
+            (
+                bits(g.value(y)),
+                bits(g.grad(x).expect("dx")),
+                bits(&grads[&w]),
+                bits(&grads[&b]),
+            )
+        };
+
+        kernels::set_matmul_threads(1);
+        let baseline = run_fused();
+        for threads in THREAD_MATRIX {
+            kernels::set_matmul_threads(threads);
+            prop_assert_eq!(&run_fused(), &baseline, "fused diverged at {} threads", threads);
+            prop_assert_eq!(&run_unfused(), &baseline, "unfused diverged at {} threads", threads);
+        }
+    }
+}
+
+/// The deliberate edge shapes, spelled out so a proptest sampling miss
+/// can never lose them: empty products, single columns, exact unroll
+/// multiples and their off-by-ones, and a tile-boundary straddler.
+#[test]
+fn edge_shapes_match_textbook_at_every_thread_count() {
+    force_sharding();
+    for &(m, k, n) in &[
+        (0usize, 5usize, 3usize), // no output rows
+        (4, 0, 3),                // empty reduction
+        (3, 7, 1),                // single output column
+        (1, 1, 1),
+        (2, 3, 8),    // exact unroll width
+        (2, 3, 16),   // two unroll blocks
+        (5, 9, 7),    // below the unroll width
+        (5, 9, 9),    // unroll + 1 tail
+        (9, 130, 67), // straddles the 64-wide k/j tiles
+    ] {
+        for threads in THREAD_MATRIX {
+            check_kernel_family(m, k, n, 1234, threads);
+        }
+    }
+}
+
+/// A panicking shard must propagate out of the deployed kernel rather
+/// than hang the product or surface a half-written output as complete
+/// (twin of the failure-injection tier's end-to-end version).
+#[test]
+fn worker_panic_propagates_out_of_matmul() {
+    force_sharding();
+    kernels::set_matmul_threads(4);
+    // 257 rows: far outside every other shape in this binary, so arming
+    // the hook cannot perturb concurrently running tests.
+    let a = finite_tensor(257, 6, 9);
+    let b = finite_tensor(6, 5, 10);
+    let want = matmul_textbook(&a, &b);
+    kernels::inject_worker_panic(100, 257);
+    let outcome = std::panic::catch_unwind(|| a.matmul(&b));
+    kernels::clear_worker_panic();
+    assert!(outcome.is_err(), "injected worker panic must propagate");
+    // The kernel family still computes clean bits afterwards.
+    assert_eq!(bits(&a.matmul(&b)), bits(&want));
+}
