@@ -11,9 +11,14 @@
 //! 2. **batched** — cache still disabled, concurrent clients, sweeping
 //!    batch size: what coalescing forward passes alone buys;
 //! 3. **warm** — cache enabled after a priming pass: repeated loop shapes
-//!    skip the model entirely.
+//!    skip the model entirely;
+//! 4. **traced warm** — the warm path again with `nvc-obs` span tracing
+//!    enabled, interleaved best-of-3 A/B against tracing disabled on the
+//!    *same* primed handle: the observability tax on the hottest path.
 //!
-//! The headline acceptance number: warm req/s must be ≥ 5× cold req/s.
+//! Two acceptance gates: warm req/s must be ≥ 5× cold req/s, and the
+//! traced warm path must stay within 5% of the untraced one. Results
+//! (including the overhead measurement) land in `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run --release -p nv-bench --bin ext_serve_throughput
@@ -24,8 +29,12 @@ use std::time::Instant;
 
 use neurovectorizer::{NeuroVectorizer, NvConfig, ServeConfig, ServeHandle};
 use nvc_datasets::generator;
+use nvc_serve::json::obj;
+use nvc_serve::Json;
 
 const ACCEPTANCE_RATIO: f64 = 5.0;
+/// Tracing may cost at most this fraction of warm throughput.
+const MAX_TRACE_OVERHEAD: f64 = 0.05;
 
 fn start(nv_seed: u64, serve: ServeConfig) -> ServeHandle {
     let mut cfg = NvConfig::paper().with_seed(nv_seed);
@@ -141,13 +150,73 @@ fn main() -> ExitCode {
         );
     }
 
+    // 4. The observability tax: the warm path with span tracing on vs.
+    // off, on the *same* primed handle. Interleaved best-of-3 per leg so
+    // scheduler noise hits both sides symmetrically; no output path is
+    // set, so this measures the ring writes themselves, not file I/O.
+    let (warm_off, warm_on) = {
+        let handle = start(3, ServeConfig::default().with_batch_size(1).with_workers(1));
+        drive(&handle, &sources, 1, 1); // priming pass
+        let (mut best_off, mut best_on) = (0.0f64, 0.0f64);
+        for _ in 0..3 {
+            nvc_obs::disable_tracing();
+            best_off = best_off.max(drive(&handle, &sources, 1, 3));
+            nvc_obs::enable_tracing();
+            best_on = best_on.max(drive(&handle, &sources, 1, 3));
+        }
+        nvc_obs::disable_tracing();
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>10}",
+            "warm, tracing off (best of 3)", 1, 1, best_off, "-"
+        );
+        println!(
+            "{:<34} {:>8} {:>8} {:>12.1} {:>10}",
+            "warm, tracing ON  (best of 3)", 1, 1, best_on, "-"
+        );
+        (best_off, best_on)
+    };
+
     let ratio = warm / cold;
+    let overhead = 1.0 - warm_on / warm_off;
     println!("\nwarm/cold speedup: {ratio:.1}x (acceptance: >= {ACCEPTANCE_RATIO:.0}x)");
-    if ratio >= ACCEPTANCE_RATIO {
+    println!(
+        "tracing overhead on warm path: {:.1}% (acceptance: <= {:.0}%)",
+        overhead * 100.0,
+        MAX_TRACE_OVERHEAD * 100.0
+    );
+
+    let cache_ok = ratio >= ACCEPTANCE_RATIO;
+    let trace_ok = warm_on >= (1.0 - MAX_TRACE_OVERHEAD) * warm_off;
+    let report = obj(vec![
+        ("bench", Json::from("ext_serve_throughput")),
+        ("cold_rps", Json::from(cold)),
+        ("warm_rps", Json::from(warm)),
+        ("warm_cold_ratio", Json::from(ratio)),
+        ("acceptance_ratio", Json::from(ACCEPTANCE_RATIO)),
+        ("warm_untraced_rps", Json::from(warm_off)),
+        ("warm_traced_rps", Json::from(warm_on)),
+        ("trace_overhead", Json::from(overhead)),
+        ("max_trace_overhead", Json::from(MAX_TRACE_OVERHEAD)),
+        ("pass", Json::from(cache_ok && trace_ok)),
+    ]);
+    match std::fs::write("BENCH_serve.json", report.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+
+    if cache_ok && trace_ok {
         println!("PASS");
         ExitCode::SUCCESS
     } else {
-        println!("FAIL");
+        if !cache_ok {
+            println!("FAIL: warm/cold ratio below acceptance");
+        }
+        if !trace_ok {
+            println!(
+                "FAIL: tracing overhead above {:.0}%",
+                MAX_TRACE_OVERHEAD * 100.0
+            );
+        }
         ExitCode::FAILURE
     }
 }

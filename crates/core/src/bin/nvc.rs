@@ -30,20 +30,35 @@ use nvc_ir::ParamEnv;
 use nvc_vectorizer::ActionSpace;
 
 const USAGE: &str = "usage:
-  nvc train [--kernels N] [--iterations N] [--seed N] [--matmul-threads N] --out FILE
+  nvc train [--kernels N] [--iterations N] [--seed N] [--matmul-threads N] [--trace FILE]
+            [--journal FILE] --out FILE
   nvc vectorize FILE.c [--model FILE]
   nvc inspect FILE.c [--n VALUE]
   nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
-            [--matmul-threads N]
+            [--matmul-threads N] [--trace FILE]
   nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
           [--cache-file PATH] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
-          [--matmul-threads N]
+          [--matmul-threads N] [--trace FILE]
 
 --matmul-threads shards the nvc-nn matmul kernels' output rows across N
 scoped worker threads (default: NVC_MATMUL_THREADS or 1); results are
-bitwise-identical at any value.";
+bitwise-identical at any value.
+--trace FILE exports per-request spans as JSON lines (equivalent to
+NVC_TRACE=FILE); --journal FILE appends one JSON line of training
+telemetry per iteration. Tracing never changes decisions or weights.";
+
+/// Honors a parsed `--trace FILE` flag (the CLI spelling of
+/// `NVC_TRACE=FILE`).
+fn apply_trace_flag(p: &ParsedArgs) {
+    if let Some(path) = p.get("--trace") {
+        nvc_obs::set_trace_output(path);
+    }
+}
 
 fn main() -> ExitCode {
+    // NVC_TRACE=FILE enables span tracing for any subcommand; the
+    // per-subcommand --trace flag does the same thing explicitly.
+    nvc_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
@@ -56,6 +71,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Drain any spans still in the ring before the process exits (the
+    // flush is incremental, so this is a no-op when tracing is off).
+    nvc_obs::flush_trace();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -72,9 +90,12 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::value("--seed"),
         Flag::value("--out"),
         Flag::value("--matmul-threads"),
+        Flag::value("--trace"),
+        Flag::value("--journal"),
     ];
     let p = parse_args(args, FLAGS, USAGE)?;
     no_positionals(&p, "train")?;
+    apply_trace_flag(&p);
     let kernels: usize = p.parse_value("--kernels")?.unwrap_or(96);
     let iterations: usize = p.parse_value("--iterations")?.unwrap_or(20);
     let seed: u64 = p.parse_value("--seed")?.unwrap_or(17);
@@ -94,6 +115,10 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut env = VectorizeEnv::new(pool, cfg.target.clone(), &cfg.embed);
     let mut nv = NeuroVectorizer::new(cfg);
+    if let Some(path) = p.get("--journal") {
+        nv.set_train_journal(Some(nvc_obs::Journal::create(path)?));
+        eprintln!("journaling per-iteration telemetry to {path}");
+    }
     let stats = nv.train(&mut env, iterations);
     for s in stats.iter().step_by(iterations.div_ceil(10).max(1)) {
         eprintln!(
@@ -184,10 +209,11 @@ const SERVE_KNOBS: [Flag; 6] = [
 ];
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut flags = vec![Flag::value("--model")];
+    let mut flags = vec![Flag::value("--model"), Flag::value("--trace")];
     flags.extend(SERVE_KNOBS);
     let p = parse_args(args, &flags, USAGE)?;
     no_positionals(&p, "serve")?;
+    apply_trace_flag(&p);
     let mut cfg = NvConfig::fast();
     apply_serve_flags(&mut cfg, &p)?;
     let mut nv = NeuroVectorizer::new(cfg);
@@ -222,10 +248,12 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::repeated("--weight"),
         Flag::value("--listen"),
         Flag::value("--cache-file"),
+        Flag::value("--trace"),
     ];
     flags.extend(SERVE_KNOBS);
     let p = parse_args(args, &flags, USAGE)?;
     no_positionals(&p, "hub")?;
+    apply_trace_flag(&p);
 
     let mut cfg = NvConfig::fast();
     apply_serve_flags(&mut cfg, &p)?;

@@ -152,6 +152,14 @@ impl NeuroVectorizer {
         self.trainer.train(env, iterations, &mut self.rng)
     }
 
+    /// Attaches (or detaches, with `None`) a training-telemetry journal:
+    /// every iteration appends one JSON line — reward, losses, entropy,
+    /// per-phase wall-clock (see [`PpoTrainer::set_journal`]). The `nvc
+    /// train --journal FILE` flag plumbs through here.
+    pub fn set_train_journal(&mut self, journal: Option<nvc_obs::Journal>) {
+        self.trainer.set_journal(journal);
+    }
+
     /// Greedy decision for a loop observation.
     pub fn decide(&self, sample: &PathSample, space: &ActionSpace) -> VectorDecision {
         let (v, i) = self.trainer.predict(sample);

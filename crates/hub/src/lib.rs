@@ -38,12 +38,13 @@ pub mod persist;
 pub mod registry;
 pub mod server;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use nvc_obs::{Counter, Gauge, MetricsRegistry};
 use nvc_serve::json::obj;
 use nvc_serve::{DecisionModel, Json, LoopReport, ServeConfig};
 
@@ -147,10 +148,15 @@ pub struct Hub {
     cfg: HubConfig,
     loader: Option<CheckpointLoader>,
     started: Instant,
+    /// Hub-level instruments (`hub_*` names) live here; each model's
+    /// `serve_*` instruments live in its own handle's registry.
+    obs: Arc<MetricsRegistry>,
     /// Protocol requests handled (all verbs, all connections).
-    requests: AtomicU64,
+    requests: Arc<Counter>,
     /// Connections accepted since start (maintained by the TCP layer).
-    pub(crate) connections: AtomicU64,
+    pub(crate) connections: Arc<Counter>,
+    /// Connections currently open (maintained by the TCP layer).
+    pub(crate) active_connections: Arc<Gauge>,
     /// Set once shutdown begins; the TCP layer polls it.
     shutting_down: AtomicBool,
     /// Guards the persist-and-drain sequence (runs exactly once).
@@ -160,13 +166,17 @@ pub struct Hub {
 impl Hub {
     /// An empty hub; register models with [`Hub::register`].
     pub fn new(cfg: HubConfig, serve_cfg: ServeConfig) -> Self {
+        nvc_obs::init_from_env();
+        let obs = Arc::new(MetricsRegistry::default());
         Hub {
             registry: ModelRegistry::new(serve_cfg),
             cfg,
             loader: None,
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            requests: obs.counter("hub_requests_total"),
+            connections: obs.counter("hub_connections_total"),
+            active_connections: obs.gauge("hub_active_connections"),
+            obs,
             shutting_down: AtomicBool::new(false),
             drained: AtomicBool::new(false),
         }
@@ -278,6 +288,7 @@ impl Hub {
         if let Err(e) = self.persist_cache() {
             eprintln!("nvc hub: cache persistence failed: {e}");
         }
+        nvc_obs::flush_trace();
     }
 
     /// Routing key for a request: the explicit `"route"` field when
@@ -301,6 +312,13 @@ impl Hub {
                 let Json::Obj(mut members) = e.handle.stats_json() else {
                     unreachable!("stats_json renders an object");
                 };
+                members.insert(
+                    0,
+                    (
+                        "in_flight".to_string(),
+                        Json::from(e.in_flight.get().max(0) as u64),
+                    ),
+                );
                 members.insert(0, ("weight".to_string(), Json::from(u64::from(e.weight))));
                 members.insert(
                     0,
@@ -317,22 +335,35 @@ impl Hub {
                 "uptime_us",
                 Json::from(self.started.elapsed().as_micros() as u64),
             ),
+            ("requests", Json::from(self.requests.get())),
+            ("connections", Json::from(self.connections.get())),
             (
-                "requests",
-                Json::from(self.requests.load(Ordering::Relaxed)),
-            ),
-            (
-                "connections",
-                Json::from(self.connections.load(Ordering::Relaxed)),
+                "active_connections",
+                Json::from(self.active_connections.get().max(0) as u64),
             ),
             ("models", Json::Obj(models)),
         ])
     }
 
+    /// Prometheus text exposition: hub-level instruments unlabeled, each
+    /// model's serve instruments labeled `model="name"`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.obs.render_prometheus("");
+        for e in self.registry.entries().iter() {
+            out.push_str(&e.handle.render_prometheus(&format!("model=\"{}\"", e.name)));
+        }
+        out
+    }
+
     /// Handles one protocol line; returns the response line and whether
     /// the connection should keep reading (`false` after `shutdown`).
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        // Mint a trace id if the transport (serve_connection) didn't
+        // already; direct callers (tests, in-process embedding) get one
+        // per line this way.
+        let _trace = nvc_obs::request_scope();
+        let _span = nvc_obs::span("hub_request");
+        self.requests.inc();
         let with_id = |id: Option<&str>, mut members: Vec<(&str, Json)>| {
             if let Some(id) = id {
                 members.insert(0, ("id", Json::from(id)));
@@ -427,7 +458,10 @@ impl Hub {
                     Ok(e) => e,
                     Err(e) => return fail(id, e.to_string()),
                 };
-                match entry.handle.vectorize(source) {
+                entry.in_flight.inc();
+                let outcome = entry.handle.vectorize(source);
+                entry.in_flight.dec();
+                match outcome {
                     Ok(out) => (
                         with_id(
                             id,
@@ -576,6 +610,9 @@ void f(int n) {
             Some("0000000000000000")
         );
         assert!(m.get("cache").unwrap().get("entries_restored").is_some());
+        // Observability satellite: connection gauge + per-model in-flight.
+        assert_eq!(stats.get("active_connections").unwrap().as_f64(), Some(0.0));
+        assert_eq!(m.get("in_flight").unwrap().as_f64(), Some(0.0));
 
         let (resp, keep) = hub.handle_line(r#"{"op":"explode","id":"x"}"#);
         assert!(keep);

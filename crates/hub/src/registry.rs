@@ -54,6 +54,9 @@ pub struct ModelEntry {
     pub weight: u32,
     /// The model's private cache + batcher + workers.
     pub handle: ServeHandle,
+    /// Requests currently inside this model's `vectorize` (the hub's
+    /// `metrics` verb surfaces it per model).
+    pub in_flight: nvc_obs::Gauge,
 }
 
 /// Named models with weighted routing and hot-swap.
@@ -84,6 +87,7 @@ impl ModelRegistry {
             name: spec.name,
             checkpoint_hash: spec.checkpoint_hash,
             weight: spec.weight,
+            in_flight: nvc_obs::Gauge::default(),
         }))
     }
 

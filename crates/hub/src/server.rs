@@ -12,7 +12,6 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -67,7 +66,7 @@ pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHand
                 }
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        hub.connections.fetch_add(1, Ordering::Relaxed);
+                        hub.connections.inc();
                         let hub = Arc::clone(&hub);
                         let worker = std::thread::Builder::new()
                             .name("nvc-hub-conn".to_string())
@@ -107,6 +106,15 @@ pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHand
 /// One connection: buffer bytes, answer complete lines, exit on EOF,
 /// write failure, protocol shutdown, or hub shutdown.
 fn serve_connection(hub: &Hub, mut stream: TcpStream) {
+    hub.active_connections.inc();
+    // Decrement on *every* exit path (EOF, write failure, shutdown).
+    struct ConnGuard<'a>(&'a Hub);
+    impl Drop for ConnGuard<'_> {
+        fn drop(&mut self) {
+            self.0.active_connections.dec();
+        }
+    }
+    let _conn = ConnGuard(hub);
     let poll = Duration::from_millis(hub.config().conn_poll_ms.max(1));
     let _ = stream.set_read_timeout(Some(poll));
     let _ = stream.set_nodelay(true);
@@ -121,13 +129,23 @@ fn serve_connection(hub: &Hub, mut stream: TcpStream) {
             if line.is_empty() {
                 continue;
             }
+            // The hub/serve boundary: one trace id per protocol line,
+            // covering handle_line *and* the response write, so the
+            // tcp_write span lands under the request's trace.
+            let _trace = if nvc_obs::tracing_enabled() {
+                Some(nvc_obs::trace_scope(nvc_obs::next_trace_id()))
+            } else {
+                None
+            };
             let (response, keep_going) = hub.handle_line(line);
-            if stream
-                .write_all(response.as_bytes())
-                .and_then(|()| stream.write_all(b"\n"))
-                .and_then(|()| stream.flush())
-                .is_err()
-            {
+            let wrote = {
+                let _span = nvc_obs::span("tcp_write");
+                stream
+                    .write_all(response.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .and_then(|()| stream.flush())
+            };
+            if wrote.is_err() {
                 return;
             }
             if !keep_going {
@@ -142,9 +160,15 @@ fn serve_connection(hub: &Hub, mut stream: TcpStream) {
         if hub.is_shutting_down() {
             return;
         }
+        let t_read = std::time::Instant::now();
         match stream.read(&mut chunk) {
             Ok(0) => return, // client closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                // Only reads that delivered bytes are worth a span —
+                // recording every 50 ms poll tick would flood the ring.
+                nvc_obs::record_span("tcp_read", 0, t_read, t_read.elapsed());
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>

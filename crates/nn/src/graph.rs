@@ -281,6 +281,7 @@ impl<'s> Graph<'s> {
             "segment_softmax_rows: segments must cover the input's rows"
         );
         let cols = av.cols();
+        let _timer = nvc_obs::time_op(nvc_obs::Op::SegmentSoftmax);
         let mut out = self.dup(av);
         for (r0, r1) in segs.iter() {
             if r0 == r1 {
@@ -332,6 +333,7 @@ impl<'s> Graph<'s> {
             "segment_weighted_sum: segments must cover the value rows"
         );
         let d = vv.cols();
+        let _timer = nvc_obs::time_op(nvc_obs::Op::SegmentWeightedSum);
         let mut out = self.alloc(segs.len(), d);
         for (s, (r0, r1)) in segs.iter().enumerate() {
             let orow = &mut out.data_mut()[s * d..(s + 1) * d];
@@ -380,6 +382,7 @@ impl<'s> Graph<'s> {
         );
         let mut out = self.alloc(rows, cols);
         {
+            let _timer = nvc_obs::time_op(nvc_obs::Op::Linear);
             let xv = &self.values[x.0];
             let wv = &self.values[w.0];
             let bias = self.values[b.0].data();
@@ -1060,6 +1063,7 @@ fn matmul_tn_rows_accum_into(a: &Tensor, g: &Tensor, r0: usize, r1: usize, out: 
 }
 
 fn gather_into(table: &Tensor, indices: &[usize], out: &mut Tensor) {
+    let _timer = nvc_obs::time_op(nvc_obs::Op::Gather);
     let cols = table.cols();
     for (i, &idx) in indices.iter().enumerate() {
         assert!(idx < table.rows(), "gather index out of bounds");

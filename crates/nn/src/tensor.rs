@@ -156,6 +156,7 @@ impl Tensor {
             (self.rows, other.cols),
             "matmul output shape mismatch"
         );
+        let _timer = nvc_obs::time_op(nvc_obs::Op::MatMul);
         let (m, kd, n) = (self.rows, self.cols, other.cols);
         let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));
         kernels::run_row_sharded(threads, m, n, &mut out.data, &|r0, r1, rows| {
@@ -244,6 +245,7 @@ impl Tensor {
             "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _timer = nvc_obs::time_op(nvc_obs::Op::MatMulTn);
         let (m, n) = (self.cols, other.cols);
         assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
         let kr = self.rows;
@@ -284,6 +286,7 @@ impl Tensor {
             "matmul_nt shape mismatch: {}x{} ×ᵀ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _timer = nvc_obs::time_op(nvc_obs::Op::MatMulNt);
         let (m, kd, n) = (self.rows, self.cols, other.rows);
         assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
         let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));

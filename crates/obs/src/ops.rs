@@ -1,0 +1,212 @@
+//! Aggregate per-op kernel timers: a `(calls, total_ns)` relaxed-atomic
+//! pair per instrumented kernel family, gated by `NVC_OPS=1` (or
+//! [`set_ops_enabled`] in-process, which the metrics renderers and the
+//! bench harness use).
+//!
+//! The instrumented sites are the kernels that dominate forward/backward
+//! time: the three matmul orientations at the tensor layer, the graph's
+//! fused `linear`, the two segment reductions, and the shared row-gather
+//! helper. `segment_matmul` and the `matmul`/`matmul_tn`/`matmul_nt`
+//! graph wrappers delegate to the instrumented accumulate kernels, so
+//! they are deliberately *not* timed — one site per flop, no double
+//! counting.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// The instrumented kernel families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Op {
+    /// `C += A·B` (row-sharded).
+    MatMul = 0,
+    /// `C += Aᵀ·B` (the backward-pass weight-gradient orientation).
+    MatMulTn = 1,
+    /// `C += A·Bᵀ` (the backward-pass input-gradient orientation).
+    MatMulNt = 2,
+    /// The graph's fused `x·W + b` forward.
+    Linear = 3,
+    /// Per-segment softmax over ragged rows.
+    SegmentSoftmax = 4,
+    /// Per-segment weighted sum (attention pooling).
+    SegmentWeightedSum = 5,
+    /// Row gather (embedding lookups, both tape and parameter-direct).
+    Gather = 6,
+}
+
+/// How many [`Op`] variants exist.
+pub const OP_COUNT: usize = 7;
+
+impl Op {
+    /// Every op, in stable display order.
+    pub const ALL: [Op; OP_COUNT] = [
+        Op::MatMul,
+        Op::MatMulTn,
+        Op::MatMulNt,
+        Op::Linear,
+        Op::SegmentSoftmax,
+        Op::SegmentWeightedSum,
+        Op::Gather,
+    ];
+
+    /// Stable snake_case name (metrics keys, JSON fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::MatMul => "matmul",
+            Op::MatMulTn => "matmul_tn",
+            Op::MatMulNt => "matmul_nt",
+            Op::Linear => "linear",
+            Op::SegmentSoftmax => "segment_softmax",
+            Op::SegmentWeightedSum => "segment_weighted_sum",
+            Op::Gather => "gather",
+        }
+    }
+}
+
+/// Tri-state enable flag: 0 = off, 1 = on, UNSET = consult `NVC_OPS`
+/// once (the same lazy-env idiom as the kernel threading knobs).
+const UNSET: u8 = 2;
+static ENABLED: AtomicU8 = AtomicU8::new(UNSET);
+
+static CALLS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+static TOTAL_NS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+
+/// True while op timers record. After the first call this is one
+/// relaxed load.
+#[inline]
+pub fn ops_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = std::env::var_os("NVC_OPS").is_some_and(|v| v != "0" && !v.is_empty());
+            ENABLED.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces op timing on or off, overriding `NVC_OPS`.
+pub fn set_ops_enabled(on: bool) {
+    ENABLED.store(on as u8, Ordering::Relaxed);
+}
+
+/// A running op timer; accumulates into the op's aggregate on drop.
+/// Obtain via [`time_op`].
+#[must_use = "the op's duration accumulates when this guard drops"]
+pub struct OpTimer {
+    op: Op,
+    start: Option<Instant>,
+}
+
+/// Starts timing one invocation of `op`. Disabled: one relaxed load,
+/// no clock read, nothing recorded.
+#[inline]
+pub fn time_op(op: Op) -> OpTimer {
+    OpTimer {
+        op,
+        start: ops_enabled().then(Instant::now),
+    }
+}
+
+impl Drop for OpTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            CALLS[self.op as usize].fetch_add(1, Ordering::Relaxed);
+            TOTAL_NS[self.op as usize].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregate for one op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStat {
+    /// Which kernel family.
+    pub op: Op,
+    /// Invocations timed.
+    pub calls: u64,
+    /// Total time across those invocations, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Every op's aggregate, in [`Op::ALL`] order (including zero-call
+/// ops — renderers filter).
+pub fn ops_snapshot() -> Vec<OpStat> {
+    Op::ALL
+        .iter()
+        .map(|&op| OpStat {
+            op,
+            calls: CALLS[op as usize].load(Ordering::Relaxed),
+            total_ns: TOTAL_NS[op as usize].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Zeroes every op aggregate (bench harness A/B legs).
+pub fn reset_ops() {
+    for i in 0..OP_COUNT {
+        CALLS[i].store(0, Ordering::Relaxed);
+        TOTAL_NS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global state again: one test, deterministic ordering.
+    #[test]
+    fn timers_accumulate_only_while_enabled() {
+        set_ops_enabled(false);
+        reset_ops();
+        {
+            let _t = time_op(Op::MatMul);
+        }
+        assert_eq!(ops_snapshot()[Op::MatMul as usize].calls, 0);
+
+        set_ops_enabled(true);
+        {
+            let _t = time_op(Op::MatMul);
+        }
+        {
+            let _t = time_op(Op::Gather);
+        }
+        let snap = ops_snapshot();
+        assert_eq!(snap[Op::MatMul as usize].calls, 1);
+        assert_eq!(snap[Op::Gather as usize].calls, 1);
+        assert_eq!(snap[Op::Linear as usize].calls, 0);
+        assert_eq!(snap.len(), OP_COUNT);
+        for (i, s) in snap.iter().enumerate() {
+            assert_eq!(s.op, Op::ALL[i]);
+        }
+
+        set_ops_enabled(false);
+        {
+            let _t = time_op(Op::MatMul);
+        }
+        assert_eq!(ops_snapshot()[Op::MatMul as usize].calls, 1);
+
+        reset_ops();
+        assert!(ops_snapshot()
+            .iter()
+            .all(|s| s.calls == 0 && s.total_ns == 0));
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        let names: Vec<_> = Op::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "matmul",
+                "matmul_tn",
+                "matmul_nt",
+                "linear",
+                "segment_softmax",
+                "segment_weighted_sum",
+                "gather"
+            ]
+        );
+    }
+}

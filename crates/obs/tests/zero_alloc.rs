@@ -1,0 +1,59 @@
+//! The "free when off" contract, enforced by a counting allocator: with
+//! tracing disabled, spans, request scopes, markers, and op timers must
+//! allocate *nothing* on the hot path.
+//!
+//! This lives in its own integration-test binary so the global
+//! allocator and the never-enable-tracing invariant hold for the whole
+//! process (the CI leg that sets `NVC_TRACE` doesn't reach here:
+//! nothing in this binary calls `init_from_env`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_observability_allocates_nothing() {
+    assert!(!nvc_obs::tracing_enabled());
+    // Pin the ops flag so the one-time NVC_OPS env consultation (which
+    // may allocate) happens outside the measured window.
+    nvc_obs::set_ops_enabled(false);
+    // Warm the thread-local path once, outside the window, too.
+    {
+        let _g = nvc_obs::span("warmup");
+        let _s = nvc_obs::request_scope();
+        let _t = nvc_obs::time_op(nvc_obs::Op::MatMul);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _scope = nvc_obs::request_scope();
+        let _request = nvc_obs::span("request");
+        nvc_obs::marker("cache_hit");
+        let _mm = nvc_obs::time_op(nvc_obs::Op::MatMul);
+        let _ga = nvc_obs::time_op(nvc_obs::Op::Gather);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing/ops must not allocate on the hot path"
+    );
+    assert_eq!(nvc_obs::current_trace(), 0);
+}

@@ -115,6 +115,10 @@ pub struct IterStats {
     pub value_loss: f64,
     /// Entropy of the policy.
     pub entropy: f64,
+    /// Wall-clock of the rollout-collection phase, microseconds.
+    pub collect_us: u64,
+    /// Wall-clock of the advantage + epoch-update phase, microseconds.
+    pub update_us: u64,
 }
 
 /// One collected single-step episode (public so benches and parity tests
@@ -151,6 +155,12 @@ pub struct PpoTrainer {
     /// from the same pool).
     arena: TensorArena,
     steps: u64,
+    /// Iterations completed (the journal's `iter` field).
+    iters: u64,
+    /// Optional training-telemetry sink: one JSON line per iteration
+    /// (reward, losses, entropy, per-phase wall-clock). `None` (the
+    /// default) writes nothing and costs nothing.
+    journal: Option<nvc_obs::Journal>,
 }
 
 impl PpoTrainer {
@@ -175,7 +185,17 @@ impl PpoTrainer {
             policy,
             arena: TensorArena::new(),
             steps: 0,
+            iters: 0,
+            journal: None,
         }
+    }
+
+    /// Attaches a training-telemetry journal: every subsequent
+    /// [`PpoTrainer::train_iteration`] appends one JSON line with the
+    /// iteration's [`IterStats`] (including per-phase timings). Pass the
+    /// result of [`nvc_obs::Journal::create`] to journal to a file.
+    pub fn set_journal(&mut self, journal: Option<nvc_obs::Journal>) {
+        self.journal = journal;
     }
 
     /// The shared parameter store (for checkpointing).
@@ -213,7 +233,10 @@ impl PpoTrainer {
 
     /// One collect + update cycle.
     pub fn train_iteration(&mut self, env: &mut impl BanditEnv, rng: &mut impl Rng) -> IterStats {
+        let t_collect = std::time::Instant::now();
         let mut batch = self.collect(env, rng);
+        let collect_us = t_collect.elapsed().as_micros() as u64;
+        let t_update = std::time::Instant::now();
         self.steps += batch.len() as u64;
         let reward_mean = batch.iter().map(|t| t.reward).sum::<f64>() / batch.len() as f64;
 
@@ -251,14 +274,36 @@ impl PpoTrainer {
             last = (sums.0 / c, sums.1 / c, sums.2 / c, sums.3 / c);
         }
 
-        IterStats {
+        self.iters += 1;
+        let stats = IterStats {
             steps: self.steps,
             reward_mean,
             loss: last.3,
             policy_loss: last.0,
             value_loss: last.1,
             entropy: last.2,
+            collect_us,
+            update_us: t_update.elapsed().as_micros() as u64,
+        };
+        if let Some(journal) = &self.journal {
+            journal.write_line(&format!(
+                concat!(
+                    "{{\"iter\":{},\"steps\":{},\"reward_mean\":{},\"loss\":{},",
+                    "\"policy_loss\":{},\"value_loss\":{},\"entropy\":{},",
+                    "\"collect_us\":{},\"update_us\":{}}}"
+                ),
+                self.iters,
+                stats.steps,
+                stats.reward_mean,
+                stats.loss,
+                stats.policy_loss,
+                stats.value_loss,
+                stats.entropy,
+                stats.collect_us,
+                stats.update_us,
+            ));
         }
+        stats
     }
 
     /// Greedy (deterministic) action for a loop sample.
@@ -297,13 +342,19 @@ impl PpoTrainer {
             return Vec::new();
         }
         let mut g = Graph::with_arena(&self.store, &self.arena);
-        let obs = match self.embedder.forward_rows(&mut g, samples) {
-            Ok(node) => node,
-            // Defensive twin of the early return above: an empty flush
-            // must never take down a serve worker.
-            Err(nvc_embed::EmbedError::EmptyBatch) => return Vec::new(),
+        let obs = {
+            let _embed = nvc_obs::span("embed");
+            match self.embedder.forward_rows(&mut g, samples) {
+                Ok(node) => node,
+                // Defensive twin of the early return above: an empty flush
+                // must never take down a serve worker.
+                Err(nvc_embed::EmbedError::EmptyBatch) => return Vec::new(),
+            }
         };
-        let out = self.policy.forward(&mut g, obs);
+        let out = {
+            let _forward = nvc_obs::span("policy_forward");
+            self.policy.forward(&mut g, obs)
+        };
         match self.cfg.action_space {
             ActionSpaceKind::Discrete => {
                 let lv = g.value(out.logits_vf.expect("discrete"));
@@ -1008,6 +1059,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The training-telemetry journal writes exactly one JSON line per
+    /// iteration, carrying the same numbers `train_iteration` returned
+    /// (so offline curve-plotting needs no second source of truth).
+    #[test]
+    fn journal_records_one_line_per_iteration() {
+        use nvc_embed::EmbedConfig;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let cfg = PpoConfig {
+            train_batch: 8,
+            minibatch: 4,
+            epochs: 1,
+            hidden: vec![8],
+            ..PpoConfig::default()
+        };
+        let mut trainer = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 11);
+        let sink = Shared(Arc::new(Mutex::new(Vec::new())));
+        trainer.set_journal(Some(nvc_obs::Journal::from_writer(Box::new(sink.clone()))));
+
+        let mut env = ParityEnv::new(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let stats = trainer.train(&mut env, 2, &mut rng);
+
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one journal line per iteration: {text:?}");
+        for (i, (line, s)) in lines.iter().zip(&stats).enumerate() {
+            assert!(
+                line.contains(&format!("\"iter\":{}", i + 1)),
+                "bad iter field: {line}"
+            );
+            assert!(line.contains(&format!("\"steps\":{}", s.steps)));
+            assert!(line.contains(&format!("\"reward_mean\":{}", s.reward_mean)));
+            assert!(line.contains(&format!("\"collect_us\":{}", s.collect_us)));
+            assert!(line.contains(&format!("\"update_us\":{}", s.update_us)));
+        }
+        // Detaching stops the stream.
+        trainer.set_journal(None);
+        trainer.train(&mut env, 1, &mut rng);
+        assert_eq!(
+            sink.0.lock().unwrap().len(),
+            text.len(),
+            "journal kept writing after detach"
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@ use crate::DecisionModel;
 struct Job {
     sample: PathSample,
     reply: Sender<(usize, usize)>,
+    /// Trace id of the request that submitted this job (0 = untraced).
+    /// The worker thread records the job's queue-wait and forward spans
+    /// under this id, so a request's spans stay together across the
+    /// thread hop.
+    trace: u64,
+    /// When the job entered the queue (queue-wait span start).
+    submitted: Instant,
 }
 
 /// The shared miss queue.
@@ -84,7 +91,12 @@ impl Batcher {
         if self.is_shut_down() {
             return rx;
         }
-        q.push_back(Job { sample, reply });
+        q.push_back(Job {
+            sample,
+            reply,
+            trace: nvc_obs::current_trace(),
+            submitted: Instant::now(),
+        });
         drop(q);
         self.available.notify_one();
         rx
@@ -151,9 +163,24 @@ impl Batcher {
                 continue;
             }
             let samples: Vec<&PathSample> = jobs.iter().map(|j| &j.sample).collect();
+            let drained_at = Instant::now();
             let decisions = model.decide_batch(&samples);
             debug_assert_eq!(decisions.len(), jobs.len());
             metrics.record_batch(jobs.len());
+            if nvc_obs::tracing_enabled() {
+                // Per-job spans under each *submitter's* trace id: how
+                // long the job sat queued, and the forward pass it rode.
+                let forward_dur = drained_at.elapsed();
+                for job in &jobs {
+                    nvc_obs::record_span(
+                        "queue_wait",
+                        job.trace,
+                        job.submitted,
+                        drained_at.saturating_duration_since(job.submitted),
+                    );
+                    nvc_obs::record_span("batch_forward", job.trace, drained_at, forward_dur);
+                }
+            }
             // If a model ever answers short (it reports empty on an
             // input it refuses), the unmatched jobs' senders drop here
             // and their clients fail fast instead of hanging.

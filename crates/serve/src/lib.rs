@@ -79,7 +79,7 @@ use nvc_machine::TargetConfig;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use json::Json;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use protocol::{LoopReport, Request};
 pub use service::{run_daemon, ServeError, ServeHandle, VectorizeOutput};
 

@@ -1,139 +1,105 @@
-//! Service metrics: counters, batch accounting, and a lock-free
-//! log₂-bucketed latency histogram with p50/p99 estimates.
+//! Service metrics: counters, batch accounting, and latency histograms.
+//!
+//! The instruments themselves live in [`nvc_obs`] now — this module
+//! binds a per-service set of named counters/histograms out of a
+//! [`MetricsRegistry`] (so the hub's Prometheus exposition and the
+//! serve `stats` verb render the same registry) and keeps the
+//! [`MetricsSnapshot`] shape the protocol has always exposed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Number of log₂ microsecond buckets (covers < 1 µs .. > 2⁴⁶ µs).
-const BUCKETS: usize = 48;
+use nvc_obs::MetricsRegistry;
 
-/// A lock-free latency histogram over log₂(µs) buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
+pub use nvc_obs::{Counter, HistogramSnapshot, LatencyHistogram};
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation in microseconds.
-    pub fn record(&self, us: u64) {
-        let bucket = (64 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds.
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Upper bound (µs) of the bucket containing quantile `q ∈ [0, 1]`.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cum = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-}
-
-/// All service counters. Cheap to update from any thread.
+/// All service counters. Cheap to update from any thread; every
+/// instrument is also reachable by name through [`Metrics::registry`].
 #[derive(Debug)]
 pub struct Metrics {
-    /// Vectorize requests accepted.
-    pub requests: AtomicU64,
-    /// Requests that failed (parse errors, timeouts).
-    pub errors: AtomicU64,
-    /// Innermost loops decided (cached + computed).
-    pub loops_served: AtomicU64,
-    /// Model forward passes run by the batch workers.
-    pub batches: AtomicU64,
-    /// Loops decided inside those forward passes.
-    pub batched_loops: AtomicU64,
+    /// Vectorize requests accepted (`serve_requests_total`).
+    pub requests: Arc<Counter>,
+    /// Requests that failed (`serve_errors_total`).
+    pub errors: Arc<Counter>,
+    /// Innermost loops decided, cached + computed (`serve_loops_total`).
+    pub loops_served: Arc<Counter>,
+    /// Model forward passes run by the batch workers
+    /// (`serve_batches_total`).
+    pub batches: Arc<Counter>,
+    /// Loops decided inside those forward passes
+    /// (`serve_batched_loops_total`).
+    pub batched_loops: Arc<Counter>,
     /// Misses that coalesced onto another request's in-flight decision
-    /// instead of embedding the same loop again (single-flight dedup).
-    pub dedup_waits: AtomicU64,
-    /// Cache entries restored from a persisted snapshot at startup.
-    pub entries_restored: AtomicU64,
+    /// instead of embedding the same loop again
+    /// (`serve_dedup_waits_total`).
+    pub dedup_waits: Arc<Counter>,
+    /// Cache entries restored from a persisted snapshot at startup
+    /// (`serve_cache_entries_restored_total`).
+    pub entries_restored: Arc<Counter>,
     /// Persisted cache entries discarded because their snapshot was
-    /// taken under a different checkpoint hash (version mismatch).
-    pub entries_invalidated_by_version: AtomicU64,
-    /// End-to-end request latency.
-    pub latency: LatencyHistogram,
+    /// taken under a different checkpoint hash
+    /// (`serve_cache_entries_invalidated_total`).
+    pub entries_invalidated_by_version: Arc<Counter>,
+    /// End-to-end request latency (`serve_request_latency_us`).
+    pub latency: Arc<LatencyHistogram>,
+    /// The registry every instrument above is registered in.
+    registry: Arc<MetricsRegistry>,
     /// When this service instance started (drives `uptime_us`).
     started: Instant,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
-        Metrics {
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            loops_served: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_loops: AtomicU64::new(0),
-            dedup_waits: AtomicU64::new(0),
-            entries_restored: AtomicU64::new(0),
-            entries_invalidated_by_version: AtomicU64::new(0),
-            latency: LatencyHistogram::default(),
-            started: Instant::now(),
-        }
+        Metrics::in_registry(Arc::new(MetricsRegistry::default()))
     }
 }
 
 impl Metrics {
+    /// Binds the service's instruments inside `registry` (the hub hands
+    /// each model the same registry namespace pattern).
+    pub fn in_registry(registry: Arc<MetricsRegistry>) -> Self {
+        Metrics {
+            requests: registry.counter("serve_requests_total"),
+            errors: registry.counter("serve_errors_total"),
+            loops_served: registry.counter("serve_loops_total"),
+            batches: registry.counter("serve_batches_total"),
+            batched_loops: registry.counter("serve_batched_loops_total"),
+            dedup_waits: registry.counter("serve_dedup_waits_total"),
+            entries_restored: registry.counter("serve_cache_entries_restored_total"),
+            entries_invalidated_by_version: registry
+                .counter("serve_cache_entries_invalidated_total"),
+            latency: registry.histogram("serve_request_latency_us"),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// The registry behind this service's instruments (Prometheus
+    /// exposition, ad-hoc snapshots).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Records one worker batch of `n` loops.
     pub fn record_batch(&self, n: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_loops.fetch_add(n as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_loops.add(n as u64);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_loops = self.batched_loops.load(Ordering::Relaxed);
+        let batches = self.batches.get();
+        let batched_loops = self.batched_loops.get();
         MetricsSnapshot {
             uptime_us: self.started.elapsed().as_micros() as u64,
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            loops_served: self.loops_served.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            loops_served: self.loops_served.get(),
             batches,
             batched_loops,
-            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
-            entries_restored: self.entries_restored.load(Ordering::Relaxed),
-            entries_invalidated_by_version: self
-                .entries_invalidated_by_version
-                .load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.get(),
+            entries_restored: self.entries_restored.get(),
+            entries_invalidated_by_version: self.entries_invalidated_by_version.get(),
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -174,9 +140,9 @@ pub struct MetricsSnapshot {
     pub latency_count: u64,
     /// Mean request latency (µs).
     pub latency_mean_us: f64,
-    /// Median request latency bucket bound (µs).
+    /// Interpolated median request latency (µs).
     pub latency_p50_us: u64,
-    /// 99th-percentile latency bucket bound (µs).
+    /// Interpolated 99th-percentile request latency (µs).
     pub latency_p99_us: u64,
 }
 
@@ -185,33 +151,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_observations() {
-        let h = LatencyHistogram::default();
-        for _ in 0..98 {
-            h.record(100); // bucket 2^7 = 128
-        }
-        for _ in 0..2 {
-            h.record(10_000); // bucket 2^14 = 16384
-        }
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.5), 128);
-        assert!(h.quantile_us(0.99) >= 8192, "p99 must reach the slow tail");
-        assert!((h.mean_us() - (98.0 * 100.0 + 2.0 * 10_000.0) / 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.99), 0);
-        assert_eq!(h.mean_us(), 0.0);
-    }
-
-    #[test]
     fn snapshot_carries_uptime_and_persistence_counters() {
         let m = Metrics::default();
-        m.entries_restored.fetch_add(17, Ordering::Relaxed);
-        m.entries_invalidated_by_version
-            .fetch_add(5, Ordering::Relaxed);
+        m.entries_restored.add(17);
+        m.entries_invalidated_by_version.add(5);
         std::thread::sleep(std::time::Duration::from_millis(2));
         let s = m.snapshot();
         assert_eq!(s.entries_restored, 17);
@@ -234,5 +177,42 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.batched_loops, 12);
         assert!((s.mean_batch - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // The histogram lives in nvc-obs now; this pins the serve-facing
+        // behavior change: p50 of a pile of 100 µs observations is ≈ 96,
+        // not the old bucket edge of 128.
+        let m = Metrics::default();
+        for _ in 0..98 {
+            m.latency.record(100);
+        }
+        for _ in 0..2 {
+            m.latency.record(10_000);
+        }
+        let s = m.snapshot();
+        assert!(
+            (95..=98).contains(&s.latency_p50_us),
+            "{}",
+            s.latency_p50_us
+        );
+        assert!(s.latency_p99_us >= 8_192);
+    }
+
+    #[test]
+    fn instruments_are_visible_through_the_registry() {
+        let m = Metrics::default();
+        m.requests.inc();
+        m.latency.record(50);
+        let snap = m.registry().snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "serve_requests_total" && *v == 1));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, h)| n == "serve_request_latency_us" && h.count == 1));
     }
 }

@@ -99,7 +99,12 @@ impl Inner {
     /// in-flight computation or become its leader and submit to the
     /// batcher.
     fn begin_decision(&self, key: u64, sample: &PathSample) -> PendingDecision {
-        if let Some(pair) = self.cache.get(key) {
+        let hit = {
+            let _span = nvc_obs::span("cache_lookup");
+            self.cache.get(key)
+        };
+        if let Some(pair) = hit {
+            nvc_obs::marker("cache_hit");
             return PendingDecision::Cached(pair);
         }
         {
@@ -107,9 +112,8 @@ impl Inner {
             if let Some(waiters) = inflight.get_mut(&key) {
                 let (tx, rx) = channel();
                 waiters.push(tx);
-                self.metrics
-                    .dedup_waits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.dedup_waits.inc();
+                nvc_obs::marker("dedup_wait");
                 return PendingDecision::Follower(rx);
             }
             inflight.insert(key, Vec::new());
@@ -185,6 +189,9 @@ impl ServeHandle {
     /// kernel shards are bitwise-identical at any count, so worker
     /// concurrency never changes a decision, only its latency.
     pub fn start(model: Arc<dyn DecisionModel>, cfg: ServeConfig) -> Self {
+        // `NVC_TRACE=path` turns request tracing on for any embedding of
+        // the service — daemon, hub, tests — without CLI plumbing.
+        nvc_obs::init_from_env();
         let space = ActionSpace::for_target(model.target());
         let inner = Arc::new(Inner {
             space,
@@ -237,10 +244,11 @@ impl ServeHandle {
     /// injected (plus per-loop detail).
     pub fn vectorize(&self, source: &str) -> Result<VectorizeOutput, ServeError> {
         let t0 = Instant::now();
-        self.inner
-            .metrics
-            .requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Mint a trace id unless the caller (the hub's connection loop)
+        // already scoped one over this request.
+        let _trace = nvc_obs::request_scope();
+        let _request = nvc_obs::span("request");
+        self.inner.metrics.requests.inc();
         match self.vectorize_inner(source, t0) {
             Ok(out) => {
                 self.inner
@@ -250,10 +258,7 @@ impl ServeHandle {
                 Ok(out)
             }
             Err(e) => {
-                self.inner
-                    .metrics
-                    .errors
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.metrics.errors.inc();
                 Err(e)
             }
         }
@@ -262,8 +267,11 @@ impl ServeHandle {
     fn vectorize_inner(&self, source: &str, t0: Instant) -> Result<VectorizeOutput, ServeError> {
         // The same extraction pipeline as `NeuroVectorizer::vectorize_source`
         // — decisions and cache keys must agree with the direct path.
-        let sites = extract_loop_samples(source, self.inner.model.embed_config())
-            .map_err(|e| ServeError::Frontend(e.to_string()))?;
+        let sites = {
+            let _span = nvc_obs::span("frontend");
+            extract_loop_samples(source, self.inner.model.embed_config())
+                .map_err(|e| ServeError::Frontend(e.to_string()))?
+        };
         let keyed: Vec<(u64, &LoopSite)> =
             sites.iter().map(|s| (sample_key(&s.sample), s)).collect();
         let mut by_key: Vec<(u64, &PathSample)> = Vec::new();
@@ -337,10 +345,7 @@ impl ServeHandle {
             .collect();
         let out = inject_pragmas(source, &pragmas);
         reports.sort_by_key(|r| r.line);
-        self.inner
-            .metrics
-            .loops_served
-            .fetch_add(reports.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner.metrics.loops_served.add(reports.len() as u64);
         Ok(VectorizeOutput {
             source: out,
             loops: reports,
@@ -405,9 +410,33 @@ impl ServeHandle {
                     ("mean_us", Json::from(m.latency_mean_us)),
                     ("p50_us", Json::from(m.latency_p50_us)),
                     ("p99_us", Json::from(m.latency_p99_us)),
+                    (
+                        "histogram_us",
+                        Json::Arr(
+                            self.inner
+                                .metrics
+                                .latency
+                                .nonzero_buckets()
+                                .into_iter()
+                                .map(|(le, n)| Json::Arr(vec![Json::from(le), Json::from(n)]))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
+            ("ops", ops_json()),
         ])
+    }
+
+    /// Prometheus text exposition of this service's metrics registry.
+    /// `labels` is spliced into every sample (`""` for none).
+    pub fn render_prometheus(&self, labels: &str) -> String {
+        self.inner.metrics.registry().render_prometheus(labels)
+    }
+
+    /// The metrics registry behind this handle's instruments.
+    pub fn metrics_registry(&self) -> Arc<nvc_obs::MetricsRegistry> {
+        Arc::clone(self.inner.metrics.registry())
     }
 
     /// Handles one protocol line; returns the response line and whether
@@ -489,6 +518,9 @@ impl ServeHandle {
         for w in workers {
             let _ = w.join();
         }
+        // Push any still-buffered span records to the `NVC_TRACE` sink
+        // before the process (or test) moves on.
+        nvc_obs::flush_trace();
     }
 
     /// Every cached decision, coldest first per shard — the persistence
@@ -506,20 +538,14 @@ impl ServeHandle {
     /// instead of here.
     pub fn restore_cache(&self, entries: impl IntoIterator<Item = (u64, (usize, usize))>) -> usize {
         let n = self.inner.cache.restore(entries);
-        self.inner
-            .metrics
-            .entries_restored
-            .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner.metrics.entries_restored.add(n as u64);
         n
     }
 
     /// Records `n` persisted cache entries that were discarded because
     /// their snapshot was taken under a different checkpoint.
     pub fn record_invalidated_entries(&self, n: u64) {
-        self.inner
-            .metrics
-            .entries_invalidated_by_version
-            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.inner.metrics.entries_invalidated_by_version.add(n);
     }
 }
 
@@ -527,6 +553,25 @@ impl Drop for ServeHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// The kernel op-timer aggregates as one JSON object: op name →
+/// `{calls, total_us}`, only ops that ran (empty when `NVC_OPS` is off —
+/// the section is always present so consumers need no feature probe).
+fn ops_json() -> Json {
+    obj(nvc_obs::ops_snapshot()
+        .into_iter()
+        .filter(|s| s.calls > 0)
+        .map(|s| {
+            (
+                s.op.name(),
+                obj(vec![
+                    ("calls", Json::from(s.calls)),
+                    ("total_us", Json::from(s.total_ns as f64 / 1_000.0)),
+                ]),
+            )
+        })
+        .collect())
 }
 
 /// The daemon loop: one JSON request per input line, one JSON response
@@ -883,6 +928,8 @@ void f(int n) {
             vec!["cache", "entries_invalidated_by_version"],
             vec!["batch", "mean_batch"],
             vec!["latency", "p99_us"],
+            vec!["latency", "histogram_us"],
+            vec!["ops"],
         ] {
             let mut v = &s;
             for k in path.iter() {
@@ -891,5 +938,30 @@ void f(int n) {
                     .unwrap_or_else(|| panic!("missing stats key {path:?}"));
             }
         }
+        // The histogram dump carries the latency observation.
+        let buckets = s
+            .get("latency")
+            .unwrap()
+            .get("histogram_us")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(!buckets.is_empty(), "one request must fill one bucket");
+        let total: f64 = buckets
+            .iter()
+            .map(|b| b.as_array().unwrap()[1].as_f64().unwrap())
+            .sum();
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_the_serve_registry() {
+        let h = start(ServeConfig::default());
+        h.vectorize(SRC).unwrap();
+        let text = h.render_prometheus("");
+        assert!(text.contains("serve_requests_total 1"));
+        assert!(text.contains("serve_request_latency_us_count 1"));
+        let labeled = h.render_prometheus("model=\"m\"");
+        assert!(labeled.contains("serve_requests_total{model=\"m\"} 1"));
     }
 }

@@ -120,6 +120,47 @@ fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
     nvc_nn::kernels::set_matmul_grain(nvc_nn::kernels::DEFAULT_MATMUL_GRAIN);
 }
 
+/// Observability must be a pure observer: the same seeded train ➝
+/// checkpoint ➝ serve run with span tracing *and* kernel profiling
+/// enabled is bitwise-equal to the run with both off. Tracing writes to
+/// a lock-free ring and profiling bumps relaxed atomics — neither may
+/// touch an f32. (Timing fields of `IterStats` are excluded: wall-clock
+/// is the one thing observability is allowed to observe.)
+#[test]
+fn observability_on_and_off_are_bitwise_equal() {
+    let run = || {
+        let mut cfg = NvConfig::fast().with_seed(29);
+        cfg.ppo.train_batch = 24;
+        cfg.ppo.minibatch = 8;
+        cfg.ppo.epochs = 2;
+        let mut env = VectorizeEnv::new(generator::generate(5, 6), cfg.target.clone(), &cfg.embed);
+        let mut nv = NeuroVectorizer::new(cfg);
+        let stats: Vec<(u64, u64)> = nv
+            .train(&mut env, 2)
+            .iter()
+            .map(|s| (s.reward_mean.to_bits(), s.loss.to_bits()))
+            .collect();
+        let checkpoint = nv.checkpoint();
+        let samples: Vec<_> = env.contexts().iter().map(|c| c.sample.clone()).collect();
+        let handle = nv.serve();
+        let decisions: Vec<(usize, usize)> = samples
+            .iter()
+            .map(|s| handle.decide_sample(s).expect("serve decision").0)
+            .collect();
+        handle.shutdown();
+        (stats, checkpoint, decisions)
+    };
+
+    let off = run();
+    nvc_obs::enable_tracing();
+    nvc_obs::set_ops_enabled(true);
+    let on = run();
+    nvc_obs::disable_tracing();
+    nvc_obs::set_ops_enabled(false);
+    nvc_obs::reset_ops();
+    assert_eq!(on, off, "observability changed a bit of the run");
+}
+
 #[test]
 fn inference_is_pure() {
     let cfg = NvConfig::fast().with_seed(33);
