@@ -37,12 +37,18 @@ const USAGE: &str = "usage:
   nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
             [--matmul-threads N] [--trace FILE]
   nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
-          [--cache-file PATH] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
+          [--cache-file PATH] [--transport event|threads] [--request-threads N]
+          [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
           [--matmul-threads N] [--trace FILE]
 
 --matmul-threads shards the nvc-nn matmul kernels' output rows across N
-scoped worker threads (default: NVC_MATMUL_THREADS or 1); results are
-bitwise-identical at any value.
+persistent pool workers (default: NVC_MATMUL_THREADS or 1); results are
+bitwise-identical at any value. NVC_MATMUL_POOL=0 falls back to scoped
+per-call threads.
+--transport picks the hub's connection driver: `event` (default) is a
+single selector thread driving every connection nonblocking with
+--request-threads protocol workers; `threads` is one thread per
+connection, kept for parity testing.
 --trace FILE exports per-request spans as JSON lines (equivalent to
 NVC_TRACE=FILE); --journal FILE appends one JSON line of training
 telemetry per iteration. Tracing never changes decisions or weights.";
@@ -249,6 +255,8 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::value("--listen"),
         Flag::value("--cache-file"),
         Flag::value("--trace"),
+        Flag::value("--transport"),
+        Flag::value("--request-threads"),
     ];
     flags.extend(SERVE_KNOBS);
     let p = parse_args(args, &flags, USAGE)?;
@@ -262,6 +270,15 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = p.get("--cache-file") {
         cfg.hub.cache_path = Some(path.to_string());
+    }
+    if let Some(t) = p.get("--transport") {
+        cfg.hub.transport = neurovectorizer::HubTransport::parse(t)?;
+    }
+    if let Some(n) = p.get("--request-threads") {
+        cfg.hub.request_threads = n
+            .parse::<usize>()
+            .map_err(|_| format!("invalid --request-threads `{n}`"))?
+            .max(1);
     }
 
     let models = p.get_all("--model");

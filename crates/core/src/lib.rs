@@ -66,5 +66,5 @@ pub mod cli;
 pub use compiler::{CompileError, Compiler, LoopDecision, ProgramTiming, CALL_OVERHEAD_CYCLES};
 pub use env::{LoopContext, VectorizeEnv, TIMEOUT_PENALTY};
 pub use framework::{NeuroVectorizer, NvConfig};
-pub use nvc_hub::{Hub, HubConfig, HubHandle, ModelSpec};
+pub use nvc_hub::{Hub, HubConfig, HubHandle, HubTransport, ModelSpec};
 pub use nvc_serve::{run_daemon, ServeConfig, ServeHandle};

@@ -34,6 +34,7 @@
 //! → {"op":"shutdown"}                  ← ack, then the hub drains and persists
 //! ```
 
+mod event;
 pub mod persist;
 pub mod registry;
 pub mod server;
@@ -52,6 +53,31 @@ pub use persist::CacheSection;
 pub use registry::{ModelEntry, ModelRegistry, ModelSpec};
 pub use server::HubHandle;
 
+/// Which machinery drives connection I/O (`HubConfig::transport`,
+/// `--transport` on `nvc hub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HubTransport {
+    /// One readiness selector (`vendor/polling`: epoll on Linux,
+    /// `poll(2)` elsewhere) drives every connection nonblocking; idle
+    /// connections cost zero CPU. The default.
+    Event,
+    /// One OS thread per connection, polling at `conn_poll_ms` — the
+    /// pre-selector transport, kept for parity testing and as a
+    /// fallback.
+    Threads,
+}
+
+impl HubTransport {
+    /// Parses the CLI spelling (`event` | `threads`).
+    pub fn parse(s: &str) -> Result<HubTransport, String> {
+        match s {
+            "event" => Ok(HubTransport::Event),
+            "threads" => Ok(HubTransport::Threads),
+            other => Err(format!("unknown transport `{other}` (event|threads)")),
+        }
+    }
+}
+
 /// Tuning knobs for the hub tier (`NvConfig.hub`, `nvc hub` flags).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HubConfig {
@@ -62,10 +88,23 @@ pub struct HubConfig {
     /// disables persistence).
     pub cache_path: Option<String>,
     /// Per-connection read poll interval in milliseconds — how quickly
-    /// an idle connection notices hub shutdown.
+    /// an idle connection notices hub shutdown (threads transport only;
+    /// the event transport has no per-connection timers).
     pub conn_poll_ms: u64,
-    /// Accept-loop poll interval in milliseconds.
+    /// Accept-loop poll interval in milliseconds (threads transport
+    /// only).
     pub accept_poll_ms: u64,
+    /// Connection I/O machinery; see [`HubTransport`].
+    pub transport: HubTransport,
+    /// Worker threads executing protocol requests off the event loop
+    /// (event transport only; clamped to ≥ 1). Responses are written
+    /// back in per-connection request order regardless.
+    pub request_threads: usize,
+    /// Backpressure bound (event transport): once a connection's queued
+    /// unsent output exceeds this many bytes the loop stops *reading*
+    /// from it until the peer drains below half — a slow reader
+    /// throttles only itself.
+    pub max_output_buffer: usize,
 }
 
 impl Default for HubConfig {
@@ -75,6 +114,9 @@ impl Default for HubConfig {
             cache_path: None,
             conn_poll_ms: 50,
             accept_poll_ms: 20,
+            transport: HubTransport::Event,
+            request_threads: 4,
+            max_output_buffer: 256 * 1024,
         }
     }
 }
@@ -89,6 +131,24 @@ impl HubConfig {
     /// Builder-style cache-path override.
     pub fn with_cache_path(mut self, path: impl Into<String>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Builder-style transport override.
+    pub fn with_transport(mut self, transport: HubTransport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style request-worker override (event transport).
+    pub fn with_request_threads(mut self, n: usize) -> Self {
+        self.request_threads = n;
+        self
+    }
+
+    /// Builder-style output-buffer-bound override (event transport).
+    pub fn with_max_output_buffer(mut self, bytes: usize) -> Self {
+        self.max_output_buffer = bytes;
         self
     }
 }
@@ -458,9 +518,18 @@ impl Hub {
                     Ok(e) => e,
                     Err(e) => return fail(id, e.to_string()),
                 };
+                // Guard-decremented so the gauge stays correct even if
+                // the model panics mid-request (the transport catches
+                // or unwinds through here either way).
+                struct InFlight<'a>(&'a nvc_obs::Gauge);
+                impl Drop for InFlight<'_> {
+                    fn drop(&mut self) {
+                        self.0.dec();
+                    }
+                }
                 entry.in_flight.inc();
+                let _in_flight = InFlight(&entry.in_flight);
                 let outcome = entry.handle.vectorize(source);
-                entry.in_flight.dec();
                 match outcome {
                     Ok(out) => (
                         with_id(

@@ -1,14 +1,20 @@
-//! The TCP transport: a nonblocking accept loop plus one thread per
-//! connection, each speaking the JSON-lines protocol against the shared
-//! [`Hub`].
+//! TCP transports for the hub, selected by
+//! [`HubConfig::transport`](crate::HubConfig):
 //!
-//! Connections and the accept loop poll [`Hub::is_shutting_down`] at
-//! short intervals (no async runtime in the offline dependency set), so
-//! a `shutdown` verb from *any* client quiesces the whole hub: the
-//! acceptor stops, idle connections close, models drain, and the cache
-//! persists. Reads are buffered manually — a read timeout mid-line must
-//! not drop bytes already received, so partial lines live in a
-//! per-connection buffer, not in a `BufReader`.
+//! * [`HubTransport::Event`](crate::HubTransport::Event) (default) — a
+//!   single selector thread drives every connection nonblocking via
+//!   the vendored `polling` crate, with a small worker pool executing
+//!   requests (see [`crate::event`]). Idle connections cost zero CPU.
+//! * [`HubTransport::Threads`](crate::HubTransport::Threads) — the
+//!   original one-thread-per-connection loop, kept for parity testing
+//!   against the event loop. Connections and the accept loop poll
+//!   [`Hub::is_shutting_down`] at short intervals; partial lines live
+//!   in a per-connection buffer so a read timeout mid-line never drops
+//!   bytes.
+//!
+//! Under either transport, a `shutdown` verb from *any* client
+//! quiesces the whole hub: the acceptor stops, idle connections close,
+//! models drain, and the cache persists.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -18,16 +24,23 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::Hub;
+use crate::{Hub, HubTransport};
 
-/// A running hub server: the accept thread plus live connections.
-/// Dropping the handle shuts the hub down (drain + persist) and joins
-/// every thread.
+/// The running backend behind a [`HubHandle`].
+enum Transport {
+    Threads {
+        accept: Mutex<Option<JoinHandle<()>>>,
+        conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    Event(crate::event::EventDriver),
+}
+
+/// A running hub server (either transport). Dropping the handle shuts
+/// the hub down (drain + persist) and joins every thread.
 pub struct HubHandle {
     hub: Arc<Hub>,
     addr: SocketAddr,
-    accept: Mutex<Option<JoinHandle<()>>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    transport: Transport,
 }
 
 /// Binds `hub.config().listen` and starts serving.
@@ -49,9 +62,16 @@ pub fn serve_tcp(hub: Arc<Hub>) -> std::io::Result<HubHandle> {
 /// or switch to nonblocking mode.
 pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHandle> {
     let addr = listener.local_addr()?;
-    // Nonblocking accept + poll: the acceptor must notice shutdown
-    // initiated by a connection thread, and the offline toolbox has no
-    // selector to block on.
+    if matches!(hub.config().transport, HubTransport::Event) {
+        let driver = crate::event::serve(Arc::clone(&hub), listener)?;
+        return Ok(HubHandle {
+            hub,
+            addr,
+            transport: Transport::Event(driver),
+        });
+    }
+    // Thread-per-connection fallback. Nonblocking accept + poll: the
+    // acceptor must notice shutdown initiated by a connection thread.
     listener.set_nonblocking(true)?;
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept = {
@@ -98,8 +118,10 @@ pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHand
     Ok(HubHandle {
         hub,
         addr,
-        accept: Mutex::new(Some(accept)),
-        conns,
+        transport: Transport::Threads {
+            accept: Mutex::new(Some(accept)),
+            conns,
+        },
     })
 }
 
@@ -192,15 +214,20 @@ impl HubHandle {
     }
 
     /// Shuts the whole tier down: hub drain + cache persist, then joins
-    /// the acceptor and every connection thread. Idempotent.
+    /// every transport thread. Idempotent.
     pub fn shutdown(&self) {
         self.hub.shutdown();
-        if let Some(accept) = self.accept.lock().take() {
-            let _ = accept.join();
-        }
-        let conns: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
-        for c in conns {
-            let _ = c.join();
+        match &self.transport {
+            Transport::Threads { accept, conns } => {
+                if let Some(accept) = accept.lock().take() {
+                    let _ = accept.join();
+                }
+                let conns: Vec<JoinHandle<()>> = conns.lock().drain(..).collect();
+                for c in conns {
+                    let _ = c.join();
+                }
+            }
+            Transport::Event(driver) => driver.join(),
         }
     }
 }
@@ -219,13 +246,20 @@ mod tests {
     use nvc_serve::{Json, ServeConfig};
     use std::io::{BufRead, BufReader};
 
-    fn start(models: &[(&str, u32, usize)]) -> HubHandle {
-        let cfg = HubConfig::default().with_listen("127.0.0.1:0");
+    fn start_with(models: &[(&str, u32, usize)], transport: HubTransport) -> HubHandle {
+        let cfg = HubConfig::default()
+            .with_listen("127.0.0.1:0")
+            .with_transport(transport);
         let hub = Hub::new(cfg, ServeConfig::default().with_workers(1));
         for &(name, weight, tag) in models {
             hub.register(stub_spec(name, weight, tag)).unwrap();
         }
         serve_tcp(Arc::new(hub)).expect("bind loopback")
+    }
+
+    /// Default transport (event loop).
+    fn start(models: &[(&str, u32, usize)]) -> HubHandle {
+        start_with(models, HubTransport::Event)
     }
 
     /// One request/response over a fresh connection.
@@ -298,12 +332,130 @@ mod tests {
 
     #[test]
     fn shutdown_verb_quiesces_the_server() {
+        for transport in [HubTransport::Event, HubTransport::Threads] {
+            let handle = start_with(&[("m", 1, 0)], transport);
+            let v = roundtrip(handle.addr(), r#"{"op":"shutdown"}"#);
+            assert_eq!(v.get("shutdown").unwrap().as_bool(), Some(true));
+            handle.shutdown();
+            assert!(handle.hub().is_shutting_down());
+        }
+    }
+
+    #[test]
+    fn event_and_threads_transports_answer_identically() {
+        let ev = start_with(&[("m", 1, 7)], HubTransport::Event);
+        let th = start_with(&[("m", 1, 7)], HubTransport::Threads);
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        for line in [r#"{"op":"ping"}"#, req.as_str()] {
+            let a = roundtrip(ev.addr(), line);
+            let b = roundtrip(th.addr(), line);
+            assert_eq!(
+                a.get("ok").map(|v| v.render()),
+                b.get("ok").map(|v| v.render())
+            );
+            assert_eq!(
+                a.get("source").map(|v| v.render()),
+                b.get("source").map(|v| v.render()),
+                "both transports must emit bitwise-identical decisions"
+            );
+        }
+    }
+
+    /// A peer dripping one byte at a time must still get its response:
+    /// partial lines survive arbitrarily many selector wakeups.
+    #[test]
+    fn slow_loris_single_byte_writes_reassemble() {
         let handle = start(&[("m", 1, 0)]);
-        let v = roundtrip(handle.addr(), r#"{"op":"shutdown"}"#);
-        assert_eq!(v.get("shutdown").unwrap().as_bool(), Some(true));
-        // The acceptor notices within its poll interval; new connections
-        // are refused (or accepted-then-dropped) shortly after.
-        handle.shutdown();
-        assert!(handle.hub().is_shutting_down());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        for b in br#"{"op":"ping"}"#.iter().chain(b"\n") {
+            stream.write_all(std::slice::from_ref(b)).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut reader = std::io::BufReader::new(stream);
+        let mut response = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut response).unwrap();
+        let v = Json::parse(response.trim()).unwrap();
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+    }
+
+    /// A single line far larger than the read chunk (8 KiB) spans many
+    /// reads; the buffer must grow and the line dispatch exactly once.
+    #[test]
+    fn giant_line_spanning_many_read_chunks() {
+        let handle = start(&[("m", 1, 0)]);
+        let pad = "x".repeat(64 * 1024);
+        let line = format!(r#"{{"op":"ping","pad":"{pad}"}}"#);
+        let v = roundtrip(handle.addr(), &line);
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+    }
+
+    /// Two connections interleave partial writes; each must get its own
+    /// answer (per-connection buffers never bleed into each other).
+    #[test]
+    fn interleaved_partial_writes_across_connections() {
+        let handle = start(&[("m", 1, 0)]);
+        let mut a = TcpStream::connect(handle.addr()).unwrap();
+        let mut b = TcpStream::connect(handle.addr()).unwrap();
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        let (head, tail) = req.split_at(req.len() / 2);
+        a.write_all(head.as_bytes()).unwrap();
+        b.write_all(br#"{"op":"pi"#).unwrap();
+        a.flush().unwrap();
+        b.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        a.write_all(tail.as_bytes()).unwrap();
+        a.write_all(b"\n").unwrap();
+        b.write_all(b"ng\"}\n").unwrap();
+        let mut ra = std::io::BufReader::new(a);
+        let mut rb = std::io::BufReader::new(b);
+        let mut la = String::new();
+        let mut lb = String::new();
+        std::io::BufRead::read_line(&mut ra, &mut la).unwrap();
+        std::io::BufRead::read_line(&mut rb, &mut lb).unwrap();
+        assert_eq!(
+            Json::parse(la.trim()).unwrap().get("ok").unwrap().as_bool(),
+            Some(true),
+            "conn A's split vectorize must reassemble: {la}"
+        );
+        assert_eq!(
+            Json::parse(lb.trim())
+                .unwrap()
+                .get("pong")
+                .unwrap()
+                .as_bool(),
+            Some(true),
+            "conn B's split ping must reassemble: {lb}"
+        );
+    }
+
+    /// Sockets dropped without any protocol goodbye must release the
+    /// `active_connections` gauge — the selector observes EOF/error and
+    /// decrements, not just the clean-close path.
+    #[test]
+    fn abruptly_dropped_sockets_release_the_gauge() {
+        let handle = start(&[("m", 1, 0)]);
+        let mut streams = Vec::new();
+        for _ in 0..8 {
+            let mut s = TcpStream::connect(handle.addr()).unwrap();
+            // Prove the connection is fully established and registered.
+            s.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+            let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut r, &mut line).unwrap();
+            streams.push(s);
+        }
+        assert_eq!(handle.hub().active_connections.get(), 8);
+        drop(streams); // no shutdown verb, no half-close dance
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.hub().active_connections.get() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gauge stuck at {} after abrupt drops",
+                handle.hub().active_connections.get()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }

@@ -281,25 +281,46 @@ impl<'s> Graph<'s> {
             "segment_softmax_rows: segments must cover the input's rows"
         );
         let cols = av.cols();
+        let rows_total = segs.total_rows();
         let _timer = nvc_obs::time_op(nvc_obs::Op::SegmentSoftmax);
         let mut out = self.dup(av);
-        for (r0, r1) in segs.iter() {
-            if r0 == r1 {
-                continue;
-            }
-            for c in 0..cols {
-                let m = (r0..r1).fold(f32::NEG_INFINITY, |m, r| m.max(out[(r, c)]));
-                let mut sum = 0.0f32;
-                for r in r0..r1 {
-                    let e = (out[(r, c)] - m).exp();
-                    out[(r, c)] = e;
-                    sum += e;
+        // Sharded over whole segments (cuts only between segments), so
+        // each segment's max/exp/sum/divide order is untouched and the
+        // threaded bits equal the serial ones. The ×8 scales the
+        // element count to a multiply-add-equivalent cost (max + exp +
+        // sum + divide passes, exp being the expensive one).
+        let bounds: Vec<(usize, usize)> = segs.iter().collect();
+        let threads = crate::kernels::effective_threads(
+            segs.len(),
+            rows_total.saturating_mul(cols).saturating_mul(8),
+        );
+        crate::kernels::run_segment_sharded(
+            threads,
+            &bounds,
+            cols,
+            out.data_mut(),
+            &|s0, s1, slice| {
+                let base = bounds[s0].0;
+                for &(r0, r1) in &bounds[s0..s1] {
+                    if r0 == r1 {
+                        continue;
+                    }
+                    for c in 0..cols {
+                        let at = |r: usize| (r - base) * cols + c;
+                        let m = (r0..r1).fold(f32::NEG_INFINITY, |m, r| m.max(slice[at(r)]));
+                        let mut sum = 0.0f32;
+                        for r in r0..r1 {
+                            let e = (slice[at(r)] - m).exp();
+                            slice[at(r)] = e;
+                            sum += e;
+                        }
+                        for r in r0..r1 {
+                            slice[at(r)] /= sum;
+                        }
+                    }
                 }
-                for r in r0..r1 {
-                    out[(r, c)] /= sum;
-                }
-            }
-        }
+            },
+        );
         self.push(Op::SegmentSoftmaxRows(a, segs.clone()), out)
     }
 
@@ -335,16 +356,32 @@ impl<'s> Graph<'s> {
         let d = vv.cols();
         let _timer = nvc_obs::time_op(nvc_obs::Op::SegmentWeightedSum);
         let mut out = self.alloc(segs.len(), d);
-        for (s, (r0, r1)) in segs.iter().enumerate() {
-            let orow = &mut out.data_mut()[s * d..(s + 1) * d];
-            for r in r0..r1 {
-                let a = wv.data()[r];
-                let vrow = &vv.data()[r * d..(r + 1) * d];
-                for (o, &x) in orow.iter_mut().zip(vrow.iter()) {
-                    *o += a * x;
+        // Output row `s` is segment `s`'s pooled row, so row sharding
+        // *is* segment sharding here: a shard owns whole segments, and
+        // within each the ascending-`r` accumulation is unchanged —
+        // threaded bits equal serial bits.
+        let bounds: Vec<(usize, usize)> = segs.iter().collect();
+        let (wd, vd) = (wv.data(), vv.data());
+        let threads =
+            crate::kernels::effective_threads(segs.len(), segs.total_rows().saturating_mul(d));
+        crate::kernels::run_row_sharded(
+            threads,
+            segs.len(),
+            d,
+            out.data_mut(),
+            &|s0, s1, out_rows| {
+                for (s, &(r0, r1)) in bounds[s0..s1].iter().enumerate() {
+                    let orow = &mut out_rows[s * d..(s + 1) * d];
+                    for r in r0..r1 {
+                        let a = wd[r];
+                        let vrow = &vd[r * d..(r + 1) * d];
+                        for (o, &x) in orow.iter_mut().zip(vrow.iter()) {
+                            *o += a * x;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         self.push(Op::SegmentWeightedSum(weights, values, segs.clone()), out)
     }
 

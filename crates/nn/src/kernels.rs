@@ -8,12 +8,15 @@
 //! because they *cannot* change that order:
 //!
 //! * **Row sharding** ([`run_row_sharded`]): the output rows are split
-//!   into contiguous shards, one `std::thread::scope` worker per shard.
+//!   into contiguous shards, executed by the persistent worker pool
+//!   ([`pool`]) — or by one `std::thread::scope` worker per shard when
+//!   the pool is disabled ([`set_matmul_pool`], `NVC_MATMUL_POOL=0`).
 //!   Every output row of `A·B`, `Aᵀ·B` and `A·Bᵀ` depends only on whole
 //!   input rows and is reduced independently, so any shard assignment —
-//!   any thread count — produces the single-threaded bits. (Splitting the
-//!   reduction dimension `k` instead would need per-thread partials whose
-//!   combination reassociates the sum; that is why only rows are split.)
+//!   any thread count, either driver — produces the single-threaded
+//!   bits. (Splitting the reduction dimension `k` instead would need
+//!   per-thread partials whose combination reassociates the sum; that is
+//!   why only rows are split.)
 //! * **8-wide unrolling** ([`mm_rows`], [`tn_rows`], [`nt_rows`]): the
 //!   inner loops run over blocks of 8 *independent* output accumulators
 //!   (manual `f32x8`-style register blocks — no unstable `std::simd`, no
@@ -26,8 +29,12 @@
 //! of the parity contract the knob is *purely* a throughput dial: races
 //! on it (e.g. two models configured differently) can change how fast an
 //! answer arrives, never which answer arrives. Small products stay
-//! single-threaded via a work floor ([`set_matmul_grain`]) so spawning
-//! never costs more than it saves.
+//! single-threaded via a work floor ([`set_matmul_grain`]) so the
+//! handoff never costs more than it saves — with the pool that handoff
+//! is a condvar wake instead of a thread spawn, which is why the
+//! default floor is far lower than it was under the scoped driver.
+
+pub mod pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -45,9 +52,15 @@ static PANIC_ROW: AtomicUsize = AtomicUsize::new(usize::MAX);
 static PANIC_ROWS_TOTAL: AtomicUsize = AtomicUsize::new(usize::MAX);
 
 /// Default work floor: a worker is only added once it has at least this
-/// many multiply-adds to itself (~tens of microseconds of FLOPs — the
-/// same order as spawning the scoped thread that would run them).
-pub const DEFAULT_MATMUL_GRAIN: usize = 96 * 1024;
+/// many multiply-adds to itself (~a microsecond of FLOPs — the same
+/// order as the pool's condvar handoff). The floor used to be 96·1024
+/// when every threaded product paid a full scoped spawn; the persistent
+/// pool made mid-sized products (the 64×340·340×64 policy layers)
+/// profitable to shard, so it dropped.
+pub const DEFAULT_MATMUL_GRAIN: usize = 16 * 1024;
+
+/// Pool-mode switch sentinel/values (`UNSET` → read `NVC_MATMUL_POOL`).
+static POOL_MODE: AtomicUsize = AtomicUsize::new(UNSET);
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
@@ -100,6 +113,28 @@ pub fn set_matmul_grain(madds: usize) {
     GRAIN.store(madds.max(1), Ordering::Relaxed);
 }
 
+/// Whether threaded shards run on the persistent worker pool (default)
+/// or on per-call `std::thread::scope` workers. `NVC_MATMUL_POOL=0`
+/// selects the scoped driver; the bitwise contract makes the two
+/// interchangeable, so the switch is only a perf A/B lever.
+pub fn matmul_pool() -> bool {
+    match POOL_MODE.load(Ordering::Relaxed) {
+        UNSET => {
+            let v = env_usize("NVC_MATMUL_POOL").map_or(true, |v| v != 0);
+            POOL_MODE.store(v as usize, Ordering::Relaxed);
+            v
+        }
+        v => v != 0,
+    }
+}
+
+/// Selects the shard driver: `true` = persistent pool, `false` = scoped
+/// spawns. Benches flip this to A/B the handoff cost; results are
+/// bitwise-identical either way.
+pub fn set_matmul_pool(on: bool) {
+    POOL_MODE.store(on as usize, Ordering::Relaxed);
+}
+
 /// Workers actually engaged for a product with `rows` output rows and
 /// `madds` total multiply-adds: the requested count, capped by the row
 /// count (shards are whole rows) and by the work floor.
@@ -137,12 +172,14 @@ fn check_injected_panic(r0: usize, r1: usize, rows_total: usize) {
 }
 
 /// Runs `kernel(r0, r1, rows_slice)` over contiguous shards of `out`'s
-/// `rows × cols` row-major buffer, one scoped worker per shard.
+/// `rows × cols` row-major buffer.
 ///
 /// With `threads <= 1` the kernel runs on the calling thread. Otherwise
-/// every shard gets its own `std::thread::scope` worker; the scope joins
-/// them all before returning, and a panicking worker re-panics on the
-/// caller after the join — a dead shard can neither hang the product nor
+/// the shard list goes to the persistent worker pool ([`pool::run`]) or,
+/// when [`matmul_pool`] is off, to one `std::thread::scope` worker per
+/// shard. Both drivers execute the identical shard list and both make a
+/// panicking shard re-panic on the caller only after every shard has
+/// been accounted for — a dead shard can neither hang the product nor
 /// let a half-written output escape as if it were complete.
 pub(crate) fn run_row_sharded(
     threads: usize,
@@ -158,20 +195,96 @@ pub(crate) fn run_row_sharded(
         return;
     }
     let per_shard = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut r0 = 0;
-        while r0 < rows {
-            let r1 = (r0 + per_shard).min(rows);
-            let (shard, tail) = rest.split_at_mut((r1 - r0) * cols);
-            rest = tail;
-            scope.spawn(move || {
-                check_injected_panic(r0, r1, rows);
-                kernel(r0, r1, shard);
-            });
-            r0 = r1;
+    let mut spans = Vec::with_capacity(threads);
+    let mut rest = out;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + per_shard).min(rows);
+        let (shard, tail) = rest.split_at_mut((r1 - r0) * cols);
+        rest = tail;
+        spans.push((r0, r1, shard));
+        r0 = r1;
+    }
+    run_spans(spans, rows, kernel);
+}
+
+/// Runs `kernel(s0, s1, segments_slice)` over shards of whole *segments*
+/// (`bounds[s]` = the row range of segment `s`, contiguous and
+/// ascending). Shards are cut only between segments, balanced by row
+/// count, so per-segment computation order — and therefore every output
+/// bit — is identical at any thread count. The injection marker is the
+/// covered row total, like the row driver's.
+pub(crate) fn run_segment_sharded(
+    threads: usize,
+    bounds: &[(usize, usize)],
+    cols: usize,
+    out: &mut [f32],
+    kernel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    let nsegs = bounds.len();
+    let rows_total = bounds.last().map_or(0, |&(_, r1)| r1);
+    debug_assert_eq!(out.len(), rows_total * cols);
+    if threads <= 1 || nsegs <= 1 {
+        check_injected_panic(0, nsegs, rows_total);
+        kernel(0, nsegs, out);
+        return;
+    }
+    let target = rows_total.div_ceil(threads).max(1);
+    let mut spans = Vec::with_capacity(threads);
+    let mut rest = out;
+    let mut s0 = 0;
+    while s0 < nsegs {
+        let row_base = bounds[s0].0;
+        let mut s1 = s0 + 1;
+        while s1 < nsegs && bounds[s1 - 1].1 - row_base < target {
+            s1 += 1;
         }
+        let (shard, tail) = rest.split_at_mut((bounds[s1 - 1].1 - row_base) * cols);
+        rest = tail;
+        spans.push((s0, s1, shard));
+        s0 = s1;
+    }
+    run_spans(spans, rows_total, kernel);
+}
+
+/// Executes an explicit shard list (disjoint windows of one output
+/// buffer) on the persistent pool, or on one scoped worker per shard
+/// when [`matmul_pool`] is off — the shared tail of both sharding
+/// geometries. Both drivers run the identical list and both surface a
+/// shard panic on the caller only after every shard is accounted for.
+fn run_spans(
+    spans: Vec<(usize, usize, &mut [f32])>,
+    marker: usize,
+    kernel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    if matmul_pool() {
+        pool::run_spans(spans, marker, kernel);
+        return;
+    }
+    // Explicit joins (not the scope's implicit one) so the first
+    // worker's panic payload resurfaces on the caller *verbatim* —
+    // identical semantics to the pool driver's handoff.
+    let panic = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|(lo, hi, slice)| {
+                scope.spawn(move || {
+                    check_injected_panic(lo, hi, marker);
+                    kernel(lo, hi, slice);
+                })
+            })
+            .collect();
+        let mut panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        panic
     });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// `out_rows (+)= a[r0..r1] × b` for an `m×kd · kd×n` product:

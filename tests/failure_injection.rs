@@ -190,6 +190,76 @@ fn threaded_matmul_worker_panic_propagates_without_tearing_the_arena() {
     kernels::set_matmul_grain(kernels::DEFAULT_MATMUL_GRAIN);
 }
 
+/// The persistent worker pool and the scoped per-call driver must have
+/// *identical* panic semantics: the payload resurfaces on the caller,
+/// the poisoned output never reaches the tape, and the driver is
+/// immediately reusable for clean work — so flipping `NVC_MATMUL_POOL`
+/// can never change what a crash looks like to the product.
+#[test]
+fn pool_and_scoped_drivers_share_panic_semantics() {
+    use nvc_nn::{kernels, Graph, ParamStore, Tensor, TensorArena};
+
+    // 59 rows: unique to this test within the binary (the hook arms on
+    // the product's total row count).
+    const ROWS: usize = 59;
+    let a = Tensor::from_vec(
+        ROWS,
+        5,
+        (0..ROWS * 5).map(|i| (i as f32 * 0.11).sin()).collect(),
+    );
+    let b = Tensor::from_vec(5, 4, (0..20).map(|i| (i as f32 * 0.9).cos()).collect());
+    let want = {
+        let mut out = Tensor::zeros(ROWS, 4);
+        a.matmul_accum_into_tiled(&b, &mut out);
+        out
+    };
+
+    kernels::set_matmul_threads(4);
+    kernels::set_matmul_grain(1);
+    let store = ParamStore::new(0);
+    for pool in [true, false] {
+        kernels::set_matmul_pool(pool);
+        let arena = TensorArena::new();
+        kernels::inject_worker_panic(10, ROWS);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Graph::with_arena(&store, &arena);
+            let an = g.input(a.clone());
+            let bn = g.input(b.clone());
+            let _ = g.matmul(an, bn);
+        }));
+        kernels::clear_worker_panic();
+        assert!(
+            outcome.is_err(),
+            "worker panic must reach the caller (pool={pool})"
+        );
+        let payload = outcome.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("injected panic"),
+            "panic payload must survive the handoff verbatim (pool={pool}): {msg:?}"
+        );
+        // Same driver, same arena, clean bits immediately afterwards.
+        let mut g = Graph::with_arena(&store, &arena);
+        let an = g.input(a.clone());
+        let bn = g.input(b.clone());
+        let mm = g.matmul(an, bn);
+        assert_eq!(
+            g.value(mm),
+            &want,
+            "post-panic compute diverged (pool={pool})"
+        );
+    }
+    // Restore the *environment-configured* mode so the NVC_MATMUL_POOL=0
+    // CI leg keeps exercising the scoped driver in the rest of the binary.
+    kernels::set_matmul_pool(std::env::var("NVC_MATMUL_POOL").map_or(true, |v| v.trim() != "0"));
+    kernels::set_matmul_threads(kernels::default_matmul_threads());
+    kernels::set_matmul_grain(kernels::DEFAULT_MATMUL_GRAIN);
+}
+
 #[test]
 fn huge_requested_factors_never_escape_clamping() {
     // Whatever the caller asks for, the target caps apply.

@@ -11,7 +11,7 @@
 //! it — harmless by construction, since every value under test is
 //! asserted to produce the same bits.
 
-use nvc_nn::{kernels, Graph, ParamStore, Tensor};
+use nvc_nn::{kernels, Graph, ParamStore, Segments, Tensor};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -221,6 +221,46 @@ fn edge_shapes_match_textbook_at_every_thread_count() {
     ] {
         for threads in THREAD_MATRIX {
             check_kernel_family(m, k, n, 1234, threads);
+        }
+    }
+}
+
+/// The segment ops (attention softmax + per-segment weighted sum) are
+/// sharded on segment boundaries only, so each segment's internal
+/// max/exp/sum/divide (resp. ascending-row accumulation) order is
+/// untouched and every thread count must yield the serial bits — over
+/// hostile payloads too (NaN/∞ propagate identically).
+#[test]
+fn segment_ops_match_serial_bits_at_every_thread_count() {
+    force_sharding();
+    let store = ParamStore::new(7);
+    let layouts: &[(&[usize], usize)] = &[
+        (&[5], 3),                      // one segment: no cuts possible
+        (&[3, 0, 5, 1, 8], 7),          // zero-row segment in the middle
+        (&[1; 19], 4),                  // many tiny segments, > threads
+        (&[0, 0, 6, 2, 0, 9, 1, 4], 1), // single column, empty edges
+    ];
+    let run = |threads: usize, lens: &[usize], cols: usize, seed: u64| {
+        kernels::set_matmul_threads(threads);
+        let segs = Segments::from_lens(lens.iter().copied());
+        let rows = segs.total_rows();
+        let mut g = Graph::new(&store);
+        let scores = g.input(wild_tensor(rows, cols, seed));
+        let sm = g.segment_softmax_rows(scores, &segs);
+        let w = g.input(wild_tensor(rows, 1, seed ^ 0x77));
+        let v = g.input(wild_tensor(rows, cols, seed ^ 0x88));
+        let ws = g.segment_weighted_sum(w, v, &segs);
+        (bits(g.value(sm)), bits(g.value(ws)))
+    };
+    for (i, &(lens, cols)) in layouts.iter().enumerate() {
+        let seed = 4242 + i as u64;
+        let serial = run(1, lens, cols, seed);
+        for threads in THREAD_MATRIX {
+            assert_eq!(
+                run(threads, lens, cols, seed),
+                serial,
+                "segment ops diverged [lens={lens:?} cols={cols} threads={threads}]"
+            );
         }
     }
 }

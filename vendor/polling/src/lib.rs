@@ -1,0 +1,571 @@
+//! Minimal mio-style readiness selector (vendored; the build
+//! environment has no network access to crates.io).
+//!
+//! One [`Poller`] watches any number of file descriptors, each
+//! registered with a caller-chosen `usize` token and an [`Interest`]
+//! (read and/or write). [`Poller::wait`] blocks until at least one
+//! descriptor is ready — or a timeout elapses — and reports readiness
+//! as [`Event`]s, level-triggered: a descriptor stays ready until the
+//! condition is consumed. Idle descriptors cost nothing between
+//! wakeups; that is the whole point over per-connection timer polls.
+//!
+//! Backend: `epoll(7)` on Linux, portable `poll(2)` elsewhere. Both are
+//! reached through their libc symbols declared locally (`extern "C"`)
+//! so the crate has zero dependencies; std already links libc.
+//!
+//! A [`Waker`] (self-pipe) lets any thread interrupt a blocked
+//! [`Poller::wait`] — the selector loop's shutdown/notify channel.
+//!
+//! Single-owner contract: registration and waiting are meant to happen
+//! on one thread (the event loop). `Waker::wake` is the only method
+//! intended for cross-thread use. This matches the hub's use and keeps
+//! the fallback backend honest (its registration table is read at
+//! `wait` time).
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What to watch a descriptor for. Combine with [`Interest::and`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    /// Readable-readiness (includes peer hangup — a read will observe
+    /// the EOF).
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable-readiness.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Watch for nothing (keep the registration, deliver only
+    /// error/hangup).
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+
+    /// Union of two interests.
+    pub const fn and(self, other: Interest) -> Interest {
+        Interest {
+            read: self.read || other.read,
+            write: self.write || other.write,
+        }
+    }
+
+    /// Does this interest include reads?
+    pub const fn is_read(self) -> bool {
+        self.read
+    }
+
+    /// Does this interest include writes?
+    pub const fn is_write(self) -> bool {
+        self.write
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: usize,
+    /// Reading will not block (data, EOF, or a pending error).
+    pub readable: bool,
+    /// Writing will not block (or will surface a pending error).
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored. `readable` is set
+    /// too so a consumer that just reads still observes the condition.
+    pub hangup: bool,
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        // Round up so a 1ns timeout still sleeps rather than spins.
+        Some(t) => {
+            t.as_millis().min(i32::MAX as u128) as i32
+                + i32::from(t.subsec_nanos() % 1_000_000 != 0)
+        }
+    }
+}
+
+pub use imp::Poller;
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`]: a nonblocking
+/// self-pipe whose read end is registered with the poller. `wake` is
+/// async-signal-safe-ish (one `write`), callable from any thread.
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the pipe and registers its read end on `poller` under
+    /// `token` (read interest). Events carrying `token` mean "someone
+    /// called `wake`"; call [`Waker::drain`] before resuming.
+    pub fn new(poller: &Poller, token: usize) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::pipe_nonblocking()?;
+        poller.register(read_fd, token, Interest::READ)?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// Interrupts the poller. A full pipe means a wake is already
+    /// pending — that is success, not an error.
+    pub fn wake(&self) -> io::Result<()> {
+        match sys::write_byte(self.write_fd) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake bytes so level-triggered polling settles.
+    pub fn drain(&self) {
+        sys::drain_fd(self.read_fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.read_fd);
+        sys::close_fd(self.write_fd);
+    }
+}
+
+/// Shared raw-libc helpers (both backends).
+mod sys {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    extern "C" {
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        #[cfg(target_os = "linux")]
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        #[cfg(not(target_os = "linux"))]
+        fn pipe(fds: *mut i32) -> i32;
+        #[cfg(not(target_os = "linux"))]
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        unsafe { close(fd) };
+    }
+
+    pub fn write_byte(fd: RawFd) -> io::Result<()> {
+        let b = 1u8;
+        if unsafe { write(fd, &b, 1) } == 1 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    pub fn drain_fd(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+
+    #[cfg(target_os = "linux")]
+    pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+        const O_NONBLOCK: i32 = 0o4000;
+        const O_CLOEXEC: i32 = 0o2000000;
+        let mut fds = [0i32; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+        const F_SETFL: i32 = 4;
+        const O_NONBLOCK: i32 = 0o4000;
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) };
+        }
+        Ok((fds[0], fds[1]))
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! `epoll(7)` backend: O(ready) wakeups, kernel-held registration
+    //! table.
+
+    use super::{sys, timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// Mirrors the kernel's `struct epoll_event`; x86 keeps it packed.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    /// The readiness selector. See the crate docs for the contract.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes `fd`'s interest (and/or token).
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`. (Closing the fd also deregisters it.)
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        /// Blocks until readiness or `timeout` (`None` = forever),
+        /// appending to `events` (cleared first). Returns the event
+        /// count; 0 on timeout or signal interruption.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    raw.len() as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            for ev in raw.iter().take(n as usize) {
+                let bits = ev.events;
+                let hangup = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & EPOLLIN != 0 || hangup,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.is_read() {
+            bits |= EPOLLIN;
+        }
+        if interest.is_write() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable `poll(2)` backend: the registration table lives in
+    //! userspace and is rebuilt into a `pollfd` array per wait — O(n)
+    //! per wakeup, which is why Linux gets epoll.
+
+    use super::{sys, timeout_ms, Event, Interest};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// The readiness selector. See the crate docs for the contract.
+    pub struct Poller {
+        registered: Mutex<BTreeMap<RawFd, (usize, Interest)>>,
+    }
+
+    impl Poller {
+        /// Creates an empty selector.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            if reg.insert(fd, (token, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd registered",
+                ));
+            }
+            Ok(())
+        }
+
+        /// Changes `fd`'s interest (and/or token).
+        pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            match reg.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            match reg.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Blocks until readiness or `timeout` (`None` = forever),
+        /// appending to `events` (cleared first). Returns the event
+        /// count; 0 on timeout or signal interruption.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let (mut fds, tokens): (Vec<PollFd>, Vec<usize>) = {
+                let reg = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+                reg.iter()
+                    .map(|(&fd, &(token, interest))| {
+                        let mut ev = 0i16;
+                        if interest.is_read() {
+                            ev |= POLLIN;
+                        }
+                        if interest.is_write() {
+                            ev |= POLLOUT;
+                        }
+                        (
+                            PollFd {
+                                fd,
+                                events: ev,
+                                revents: 0,
+                            },
+                            token,
+                        )
+                    })
+                    .unzip()
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            for (pf, &token) in fds.iter().zip(tokens.iter()) {
+                if pf.revents == 0 {
+                    continue;
+                }
+                let hangup = pf.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                events.push(Event {
+                    token,
+                    readable: pf.revents & POLLIN != 0 || hangup,
+                    writable: pf.revents & POLLOUT != 0,
+                    hangup,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn readiness_tracks_data_and_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        // Nothing to read yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "idle socket must not report readiness");
+
+        client.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable && !events[0].hangup);
+
+        // Level-triggered: still readable until consumed.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut byte = [0u8; 8];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut byte).unwrap(), 1);
+
+        // Peer hangup surfaces as readable + hangup.
+        drop(client);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable && events[0].hangup);
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket's send buffer is empty: writable immediately.
+        poller
+            .register(client.as_raw_fd(), 3, Interest::READ.and(Interest::WRITE))
+            .unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        // Dropping write interest silences it.
+        poller
+            .modify(client.as_raw_fd(), 3, Interest::READ)
+            .unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poller, usize::MAX).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, usize::MAX);
+        waker.drain();
+        t.join().unwrap();
+    }
+}
