@@ -76,6 +76,20 @@ const POOL_ACCEPTANCE_RATIO: f64 = 1.2;
 /// drivers run and their bits are compared on every host).
 const POOL_SHAPE: (usize, usize, usize) = (64, 340, 64);
 const POOL_REPS: usize = 1000;
+/// Fast-vs-strict kernel-mode A/B: required speedup of the `Fast`
+/// kernels (fused-FMA accumulators + `k`-split scheduling) over `Strict`
+/// at the same thread count, applied only on hosts with ≥
+/// `KERNEL_GATE_MIN_CORES` cores. The ε-parity bound below is asserted
+/// on *every* host — a fast kernel that drifts is wrong at any speed.
+const FAST_ACCEPTANCE_RATIO: f64 = 1.15;
+/// Max `|fast − strict| / (Σ|a|·|b| + 1e-6)` allowed per output element
+/// (the same relative bound `tests/fast_parity.rs` proves under proptest).
+const FAST_REL_EPS: f64 = 1e-4;
+/// The tall-thin policy-head product `k`-splitting exists for: a couple
+/// of rollout rows against the 340-wide code vector.
+const FAST_POLICY_SHAPE: (usize, usize, usize) = (2, 340, 64);
+const FAST_STACKED_REPS: usize = 30;
+const FAST_POLICY_REPS: usize = 2000;
 
 /// A fixed loop pool with a cheap deterministic reward: the bench
 /// measures collection cost, so the environment must be ~free.
@@ -300,6 +314,86 @@ fn pool_vs_scoped() -> PoolBench {
     }
 }
 
+/// Fast-vs-strict kernel-mode A/B on the stacked-projection and policy
+/// shapes, with unconditional ε-parity.
+struct FastModeBench {
+    cores: usize,
+    threads: usize,
+    /// (strict products/s, fast products/s, max relative error) per shape.
+    stacked: (f64, f64, f64),
+    policy: (f64, f64, f64),
+    eps_ok: bool,
+}
+
+fn fast_vs_strict() -> FastModeBench {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.max(2);
+    kernels::set_matmul_threads(threads);
+    let cfg = EmbedConfig::paper();
+    let stacked_shape = (KERNEL_ROWS, cfg.context_width(), cfg.code_dim);
+    let mut eps_ok = true;
+
+    let mut measure = |(m, k, n): (usize, usize, usize), reps: usize, seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        kernels::set_kernel_mode(kernels::KernelMode::Strict);
+        let strict = a.matmul(&b);
+        kernels::set_kernel_mode(kernels::KernelMode::Fast);
+        let fast = a.matmul(&b);
+        // ε-parity vs the accumulated magnitude each element saw.
+        let mut scale = Tensor::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    scale[(i, j)] += a[(i, kk)].abs() * b[(kk, j)].abs();
+                }
+            }
+        }
+        let mut max_rel = 0.0f64;
+        for ((&f, &st), &sc) in fast
+            .data()
+            .iter()
+            .zip(strict.data().iter())
+            .zip(scale.data().iter())
+        {
+            let rel = (f - st).abs() as f64 / (sc as f64 + 1e-6);
+            max_rel = max_rel.max(rel);
+            if !rel.is_finite() {
+                eps_ok = false;
+            }
+        }
+        if max_rel > FAST_REL_EPS {
+            eps_ok = false;
+        }
+        let time = |mode: kernels::KernelMode| {
+            kernels::set_kernel_mode(mode);
+            let _ = std::hint::black_box(a.matmul(&b)); // warm
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(a.matmul(&b));
+            }
+            reps as f64 / t0.elapsed().as_secs_f64()
+        };
+        let strict_pps = time(kernels::KernelMode::Strict);
+        let fast_pps = time(kernels::KernelMode::Fast);
+        (strict_pps, fast_pps, max_rel)
+    };
+
+    let stacked = measure(stacked_shape, FAST_STACKED_REPS, 47);
+    let policy = measure(FAST_POLICY_SHAPE, FAST_POLICY_REPS, 53);
+    kernels::set_kernel_mode(kernels::default_kernel_mode());
+    kernels::set_matmul_threads(kernels::default_matmul_threads());
+
+    FastModeBench {
+        cores,
+        threads,
+        stacked,
+        policy,
+        eps_ok,
+    }
+}
+
 fn main() -> ExitCode {
     let mut env = build_env();
     let cfg = PpoConfig {
@@ -482,6 +576,53 @@ fn main() -> ExitCode {
         }
     );
 
+    // Fast-vs-strict kernel-mode A/B: ε-parity always; the ≥ 1.15×
+    // speedup gate (FMA + k-split have to actually pay for their
+    // relaxed-reassociation contract) only on >= 4-core hosts.
+    let fb = fast_vs_strict();
+    let fast_stacked_ratio = fb.stacked.1 / fb.stacked.0;
+    let fast_policy_ratio = fb.policy.1 / fb.policy.0;
+    let fast_gate_applied = fb.cores >= KERNEL_GATE_MIN_CORES;
+    let fast_pass = fb.eps_ok
+        && (!fast_gate_applied
+            || (fast_stacked_ratio >= FAST_ACCEPTANCE_RATIO
+                && fast_policy_ratio >= FAST_ACCEPTANCE_RATIO));
+    println!(
+        "\n== kernel_fast (strict vs fast mode, {} threads) ==",
+        fb.threads
+    );
+    println!("{:<34} {:>13} {:>13}", "shape", "strict p/s", "fast p/s");
+    println!(
+        "{:<34} {:>13.1} {:>13.1}",
+        format!("{}x384 · 384x340 stacked", KERNEL_ROWS),
+        fb.stacked.0,
+        fb.stacked.1
+    );
+    println!(
+        "{:<34} {:>13.1} {:>13.1}",
+        format!(
+            "{}x{} · {}x{} policy (k-split)",
+            FAST_POLICY_SHAPE.0, FAST_POLICY_SHAPE.1, FAST_POLICY_SHAPE.1, FAST_POLICY_SHAPE.2
+        ),
+        fb.policy.0,
+        fb.policy.1
+    );
+    println!(
+        "fast ε-parity (rel err ≤ {FAST_REL_EPS:.0e}): {} (stacked {:.2e}, policy {:.2e})",
+        if fb.eps_ok { "ok" } else { "VIOLATED" },
+        fb.stacked.2,
+        fb.policy.2
+    );
+    println!(
+        "fast/strict speedup: stacked {fast_stacked_ratio:.2}x, policy {fast_policy_ratio:.2}x; \
+         acceptance >= {FAST_ACCEPTANCE_RATIO:.2}x {}",
+        if fast_gate_applied {
+            "applies (>= 4 cores)"
+        } else {
+            "not applied (< 4 cores — ε-parity only)"
+        }
+    );
+
     let report = obj(vec![
         ("bench", Json::from("ext_train_throughput")),
         ("train_batch", Json::from(TRAIN_BATCH)),
@@ -520,14 +661,36 @@ fn main() -> ExitCode {
         ("pool_gate_applied", Json::from(pool_gate_applied)),
         ("pool_parity", Json::from(pb.parity)),
         ("pool_pass", Json::from(pool_pass)),
-        ("pass", Json::from(pass && kernel_pass && pool_pass)),
+        (
+            "kernel_fast",
+            obj(vec![
+                ("threads", Json::from(fb.threads)),
+                ("stacked_strict_products_per_sec", Json::from(fb.stacked.0)),
+                ("stacked_fast_products_per_sec", Json::from(fb.stacked.1)),
+                ("stacked_ratio", Json::from(fast_stacked_ratio)),
+                ("stacked_max_rel_err", Json::from(fb.stacked.2)),
+                ("policy_strict_products_per_sec", Json::from(fb.policy.0)),
+                ("policy_fast_products_per_sec", Json::from(fb.policy.1)),
+                ("policy_ratio", Json::from(fast_policy_ratio)),
+                ("policy_max_rel_err", Json::from(fb.policy.2)),
+                ("acceptance_ratio", Json::from(FAST_ACCEPTANCE_RATIO)),
+                ("rel_eps", Json::from(FAST_REL_EPS)),
+                ("gate_applied", Json::from(fast_gate_applied)),
+                ("eps_parity", Json::from(fb.eps_ok)),
+                ("pass", Json::from(fast_pass)),
+            ]),
+        ),
+        (
+            "pass",
+            Json::from(pass && kernel_pass && pool_pass && fast_pass),
+        ),
     ]);
     match std::fs::write("BENCH_train.json", report.render() + "\n") {
         Ok(()) => println!("wrote BENCH_train.json"),
         Err(e) => eprintln!("could not write BENCH_train.json: {e}"),
     }
 
-    if pass && embed_pass && kernel_pass && pool_pass {
+    if pass && embed_pass && kernel_pass && pool_pass && fast_pass {
         println!("PASS");
         ExitCode::SUCCESS
     } else {

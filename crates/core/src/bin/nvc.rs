@@ -30,21 +30,25 @@ use nvc_ir::ParamEnv;
 use nvc_vectorizer::ActionSpace;
 
 const USAGE: &str = "usage:
-  nvc train [--kernels N] [--iterations N] [--seed N] [--matmul-threads N] [--trace FILE]
-            [--journal FILE] --out FILE
+  nvc train [--kernels N] [--iterations N] [--seed N] [--matmul-threads N]
+            [--kernel-mode strict|fast] [--trace FILE] [--journal FILE] --out FILE
   nvc vectorize FILE.c [--model FILE]
   nvc inspect FILE.c [--n VALUE]
   nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
-            [--matmul-threads N] [--trace FILE]
+            [--matmul-threads N] [--kernel-mode strict|fast] [--trace FILE]
   nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
           [--cache-file PATH] [--transport event|threads] [--request-threads N]
           [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
-          [--matmul-threads N] [--trace FILE]
+          [--matmul-threads N] [--kernel-mode strict|fast] [--trace FILE]
 
 --matmul-threads shards the nvc-nn matmul kernels' output rows across N
 persistent pool workers (default: NVC_MATMUL_THREADS or 1); results are
 bitwise-identical at any value. NVC_MATMUL_POOL=0 falls back to scoped
 per-call threads.
+--kernel-mode picks the kernel numeric contract (default: NVC_KERNEL_MODE,
+else `fast` for serve/hub and `strict` everywhere else): `strict` is
+bitwise-reproducible; `fast` runs FMA + k-split + online-softmax kernels
+that are ε-close with identical decisions.
 --transport picks the hub's connection driver: `event` (default) is a
 single selector thread driving every connection nonblocking with
 --request-threads protocol workers; `threads` is one thread per
@@ -96,6 +100,7 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::value("--seed"),
         Flag::value("--out"),
         Flag::value("--matmul-threads"),
+        Flag::value("--kernel-mode"),
         Flag::value("--trace"),
         Flag::value("--journal"),
     ];
@@ -113,6 +118,9 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = NvConfig::fast().with_seed(seed);
     if let Some(n) = p.parse_value::<usize>("--matmul-threads")? {
         cfg.matmul_threads = n.max(1);
+    }
+    if let Some(mode) = p.parse_value("--kernel-mode")? {
+        cfg.kernel_mode = mode;
     }
     let pool = generator::generate(seed, kernels);
     eprintln!(
@@ -202,16 +210,30 @@ fn apply_serve_flags(cfg: &mut NvConfig, p: &ParsedArgs) -> Result<(), String> {
     if let Some(n) = p.parse_value::<usize>("--matmul-threads")? {
         cfg.matmul_threads = n.max(1);
     }
+    if let Some(mode) = p.parse_value("--kernel-mode")? {
+        cfg.kernel_mode = mode;
+    }
     Ok(())
 }
 
-const SERVE_KNOBS: [Flag; 6] = [
+/// The serving binaries default to the fast kernels — their job is
+/// decision throughput, and fast mode is decision-identical. An explicit
+/// `NVC_KERNEL_MODE` still wins (it seeded `cfg.kernel_mode` already),
+/// as does a later `--kernel-mode` flag.
+fn default_serving_to_fast(cfg: &mut NvConfig) {
+    if std::env::var_os("NVC_KERNEL_MODE").is_none() {
+        cfg.kernel_mode = nvc_nn::KernelMode::Fast;
+    }
+}
+
+const SERVE_KNOBS: [Flag; 7] = [
     Flag::value("--workers"),
     Flag::value("--batch"),
     Flag::value("--flush-us"),
     Flag::value("--cache"),
     Flag::value("--shards"),
     Flag::value("--matmul-threads"),
+    Flag::value("--kernel-mode"),
 ];
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -221,6 +243,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     no_positionals(&p, "serve")?;
     apply_trace_flag(&p);
     let mut cfg = NvConfig::fast();
+    default_serving_to_fast(&mut cfg);
     apply_serve_flags(&mut cfg, &p)?;
     let mut nv = NeuroVectorizer::new(cfg);
     if let Some(model) = p.get("--model") {
@@ -232,13 +255,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let serve_cfg = nv.config().serve.clone();
     eprintln!(
-        "nvc serve: ready ({} workers, batch {}, flush {}µs, cache {} entries / {} shards, {} matmul thread(s)); one JSON request per line",
+        "nvc serve: ready ({} workers, batch {}, flush {}µs, cache {} entries / {} shards, {} matmul thread(s), {} kernels); one JSON request per line",
         serve_cfg.workers,
         serve_cfg.batch_size,
         serve_cfg.flush_deadline_us,
         serve_cfg.cache_capacity,
         serve_cfg.cache_shards,
-        nv.config().matmul_threads.max(1)
+        nv.config().matmul_threads.max(1),
+        nv.config().kernel_mode
     );
     let handle = nv.serve();
     let stdin = std::io::stdin();
@@ -264,6 +288,7 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     apply_trace_flag(&p);
 
     let mut cfg = NvConfig::fast();
+    default_serving_to_fast(&mut cfg);
     apply_serve_flags(&mut cfg, &p)?;
     if let Some(listen) = p.get("--listen") {
         cfg.hub.listen = listen.to_string();
@@ -332,9 +357,10 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let handle = nvc_hub::server::serve_tcp(Arc::new(hub))?;
     eprintln!(
-        "nvc hub: listening on {} ({} models{}); send {{\"op\":\"shutdown\"}} to stop",
+        "nvc hub: listening on {} ({} models, {} kernels{}); send {{\"op\":\"shutdown\"}} to stop",
         handle.addr(),
         handle.hub().registry().len(),
+        cfg.kernel_mode,
         match handle.hub().config().cache_path.as_deref() {
             Some(p) => format!(", cache persisted to {p}"),
             None => String::new(),

@@ -44,6 +44,15 @@ pub struct NvConfig {
     /// applies it process-wide (`nvc_nn::kernels::set_matmul_threads`).
     /// Defaults to the `NVC_MATMUL_THREADS` environment variable (or 1).
     pub matmul_threads: usize,
+    /// Numeric contract of the `nvc-nn` kernels, applied process-wide by
+    /// [`NeuroVectorizer::new`] (`nvc_nn::kernels::set_kernel_mode`).
+    /// `Strict` (the default) keeps the bitwise-parity kernels — what
+    /// training and reproduction runs want; `Fast` enables fused-FMA
+    /// accumulators, reduction-dimension sharding and the online softmax
+    /// — ε-close to strict with identical decisions, which is why `nvc
+    /// serve` and `nvc hub` default to it. Defaults to the
+    /// `NVC_KERNEL_MODE` environment variable (or `Strict`).
+    pub kernel_mode: nvc_nn::KernelMode,
     /// Seed for parameter init and exploration.
     pub seed: u64,
 }
@@ -67,6 +76,7 @@ impl NvConfig {
             serve: ServeConfig::default(),
             hub: HubConfig::default(),
             matmul_threads: nvc_nn::kernels::default_matmul_threads(),
+            kernel_mode: nvc_nn::kernels::default_kernel_mode(),
             seed: 0,
         }
     }
@@ -94,6 +104,7 @@ impl NvConfig {
             serve: ServeConfig::default(),
             hub: HubConfig::default(),
             matmul_threads: nvc_nn::kernels::default_matmul_threads(),
+            kernel_mode: nvc_nn::kernels::default_kernel_mode(),
             seed: 0,
         }
     }
@@ -110,6 +121,14 @@ impl NvConfig {
         self.matmul_threads = threads;
         self
     }
+
+    /// Overrides the kernel numeric contract (builder style). Unlike the
+    /// thread count this changes low-order result bits (never decisions):
+    /// see [`nvc_nn::KernelMode`].
+    pub fn with_kernel_mode(mut self, mode: nvc_nn::KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
+    }
 }
 
 /// The trained (or trainable) NeuroVectorizer.
@@ -123,15 +142,19 @@ pub struct NeuroVectorizer {
 impl NeuroVectorizer {
     /// Creates an untrained framework instance.
     ///
-    /// Applies `cfg.matmul_threads` process-wide
-    /// (`nvc_nn::kernels::set_matmul_threads`) so everything downstream
-    /// of this model — training iterations, `nvc-serve` worker flushes,
-    /// hub `reload`s through [`NeuroVectorizer::hub_loader`] — runs the
-    /// threaded kernels. The knob is last-writer-wins across instances,
-    /// which is safe because every thread count is bitwise-identical; it
-    /// only changes throughput.
+    /// Applies `cfg.matmul_threads` and `cfg.kernel_mode` process-wide
+    /// (`nvc_nn::kernels::set_matmul_threads` / `set_kernel_mode`) so
+    /// everything downstream of this model — training iterations,
+    /// `nvc-serve` worker flushes, hub `reload`s through
+    /// [`NeuroVectorizer::hub_loader`] — runs the configured kernels.
+    /// Both knobs are last-writer-wins across instances: the thread
+    /// count is bitwise-neutral, and the kernel mode is decision-neutral
+    /// (strict and fast differ only in low-order float bits), so a
+    /// late-constructed instance can change the numerics of a colocated
+    /// one's floats but never its answers.
     pub fn new(cfg: NvConfig) -> Self {
         nvc_nn::kernels::set_matmul_threads(cfg.matmul_threads);
+        nvc_nn::kernels::set_kernel_mode(cfg.kernel_mode);
         let trainer = PpoTrainer::new(&cfg.ppo, &cfg.embed, cfg.seed);
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x9E37));
         NeuroVectorizer { cfg, trainer, rng }

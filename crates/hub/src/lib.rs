@@ -395,6 +395,10 @@ impl Hub {
                 "uptime_us",
                 Json::from(self.started.elapsed().as_micros() as u64),
             ),
+            (
+                "kernel_mode",
+                Json::from(nvc_nn::kernels::kernel_mode().name()),
+            ),
             ("requests", Json::from(self.requests.get())),
             ("connections", Json::from(self.connections.get())),
             (

@@ -301,11 +301,24 @@ impl<'s> Graph<'s> {
             out.data_mut(),
             &|s0, s1, slice| {
                 let base = bounds[s0].0;
+                let fast = crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast;
                 for &(r0, r1) in &bounds[s0..s1] {
                     if r0 == r1 {
                         continue;
                     }
                     for c in 0..cols {
+                        if fast {
+                            // Single-pass online-max softmax down this
+                            // segment's column — same element order as
+                            // strict, one data pass instead of three.
+                            crate::kernels::fast::online_softmax_strided(
+                                slice,
+                                (r0 - base) * cols + c,
+                                cols,
+                                r1 - r0,
+                            );
+                            continue;
+                        }
                         let at = |r: usize| (r - base) * cols + c;
                         let m = (r0..r1).fold(f32::NEG_INFINITY, |m, r| m.max(slice[at(r)]));
                         let mut sum = 0.0f32;
@@ -370,8 +383,13 @@ impl<'s> Graph<'s> {
             d,
             out.data_mut(),
             &|s0, s1, out_rows| {
+                let fast = crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast;
                 for (s, &(r0, r1)) in bounds[s0..s1].iter().enumerate() {
                     let orow = &mut out_rows[s * d..(s + 1) * d];
+                    if fast {
+                        crate::kernels::fast::weighted_sum_fast(wd, vd, d, r0, r1, orow);
+                        continue;
+                    }
                     for r in r0..r1 {
                         let a = wd[r];
                         let vrow = &vd[r * d..(r + 1) * d];
@@ -423,17 +441,66 @@ impl<'s> Graph<'s> {
             let xv = &self.values[x.0];
             let wv = &self.values[w.0];
             let bias = self.values[b.0].data();
-            let threads = crate::kernels::effective_threads(
-                rows,
-                rows.saturating_mul(kd).saturating_mul(cols),
-            );
+            let madds = rows.saturating_mul(kd).saturating_mul(cols);
+            let fast = crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast;
+            if fast {
+                if let Some(shards) = crate::kernels::k_split_shards(rows, kd, madds) {
+                    // Tall-thin fast path: k-split the product, then add
+                    // the bias serially after the partials combine (the
+                    // bias must land after the *complete* product chain,
+                    // same as the row-sharded spellings).
+                    crate::kernels::run_mm_k_split(
+                        shards,
+                        rows,
+                        cols,
+                        kd,
+                        out.data_mut(),
+                        &|k0, k1, partial| {
+                            crate::kernels::fast::mm_rows_fast(
+                                xv.data(),
+                                wv.data(),
+                                kd,
+                                cols,
+                                k0,
+                                k1,
+                                0,
+                                rows,
+                                partial,
+                            );
+                        },
+                    );
+                    if cols > 0 {
+                        for row in out.data_mut().chunks_exact_mut(cols) {
+                            for (o, &bb) in row.iter_mut().zip(bias.iter()) {
+                                *o += bb;
+                            }
+                        }
+                    }
+                    return self.push(Op::Linear(x, w, b), out);
+                }
+            }
+            let threads = crate::kernels::effective_threads(rows, madds);
             crate::kernels::run_row_sharded(
                 threads,
                 rows,
                 cols,
                 out.data_mut(),
                 &|r0, r1, out_rows| {
-                    crate::kernels::mm_rows(xv.data(), wv.data(), kd, cols, r0, r1, out_rows);
+                    if fast {
+                        crate::kernels::fast::mm_rows_fast(
+                            xv.data(),
+                            wv.data(),
+                            kd,
+                            cols,
+                            0,
+                            kd,
+                            r0,
+                            r1,
+                            out_rows,
+                        );
+                    } else {
+                        crate::kernels::mm_rows(xv.data(), wv.data(), kd, cols, r0, r1, out_rows);
+                    }
                     if cols > 0 {
                         for row in out_rows.chunks_exact_mut(cols) {
                             for (o, &bb) in row.iter_mut().zip(bias.iter()) {
@@ -787,14 +854,21 @@ impl<'s> Graph<'s> {
                     let mut dv = self.alloc(self.values[v.0].rows(), d);
                     {
                         let (wv, vv) = (&self.values[w.0], &self.values[v.0]);
+                        let fast =
+                            crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast;
                         for (s, (r0, r1)) in segs.iter().enumerate() {
                             let grow = &g.data()[s * d..(s + 1) * d];
                             for r in r0..r1 {
                                 let vrow = &vv.data()[r * d..(r + 1) * d];
-                                let mut acc = 0.0f32;
-                                for (&gx, &vx) in grow.iter().zip(vrow.iter()) {
-                                    acc += gx * vx;
-                                }
+                                let acc = if fast {
+                                    crate::kernels::fast::dot_fast(grow, vrow)
+                                } else {
+                                    let mut acc = 0.0f32;
+                                    for (&gx, &vx) in grow.iter().zip(vrow.iter()) {
+                                        acc += gx * vx;
+                                    }
+                                    acc
+                                };
                                 dw.data_mut()[r] = acc;
                                 let a = wv.data()[r];
                                 let dvrow = &mut dv.data_mut()[r * d..(r + 1) * d];
@@ -1087,6 +1161,21 @@ fn colsum(g_ref: &Graph<'_>, g: &Tensor) -> Tensor {
 fn matmul_tn_rows_accum_into(a: &Tensor, g: &Tensor, r0: usize, r1: usize, out: &mut Tensor) {
     let (m, n) = (a.cols(), g.cols());
     debug_assert_eq!(out.shape(), (m, n));
+    if crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast {
+        // The fast `tn` kernel over just this row window — same madd
+        // chain the per-sample `matmul_tn_accum_into` runs in fast mode.
+        crate::kernels::fast::tn_rows_fast(
+            &a.data()[r0 * m..r1 * m],
+            &g.data()[r0 * n..r1 * n],
+            r1 - r0,
+            m,
+            n,
+            0,
+            m,
+            out.data_mut(),
+        );
+        return;
+    }
     for k in r0..r1 {
         let a_row = &a.data()[k * m..(k + 1) * m];
         let g_row = &g.data()[k * n..(k + 1) * n];
@@ -1110,6 +1199,16 @@ fn gather_into(table: &Tensor, indices: &[usize], out: &mut Tensor) {
 
 fn softmax_rows_inplace(t: &mut Tensor) {
     let (rows, cols) = t.shape();
+    if crate::kernels::kernel_mode() == crate::kernels::KernelMode::Fast {
+        // Same single-pass online-max kernel the segmented spelling uses
+        // (stride 1 over a contiguous row), so the per-sample `transpose
+        // → softmax_rows` chain stays bitwise-equal to
+        // `segment_softmax_rows` in fast mode too.
+        for r in 0..rows {
+            crate::kernels::fast::online_softmax_strided(t.data_mut(), r * cols, 1, cols);
+        }
+        return;
+    }
     for r in 0..rows {
         let row = &mut t.data_mut()[r * cols..(r + 1) * cols];
         let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

@@ -1,7 +1,23 @@
-//! Threaded, SIMD-explicit matmul kernels behind a bitwise-parity
+//! Threaded, SIMD-explicit matmul kernels behind a two-mode numeric
 //! contract.
 //!
-//! Every kernel here computes each output element's partial products in
+//! The process-wide [`KernelMode`] selects which contract the deployed
+//! kernels honour:
+//!
+//! * [`KernelMode::Strict`] (the default) is the bitwise-parity contract
+//!   proven by the kernel test tier, described below. Training and
+//!   reproduction runs use it.
+//! * [`KernelMode::Fast`] (the serving default — `nvc serve` / `nvc hub`)
+//!   relaxes exactly three things, each gated by the ε-parity and
+//!   decision-equivalence suites in `tests/fast_parity.rs`: fused
+//!   `mul_add` accumulators (hardware FMA when the CPU has AVX2+FMA, see
+//!   [`fast`]), reduction-dimension (`k`-split) sharding for tall-thin
+//!   products ([`k_split_shards`]), and a single-pass online-max softmax.
+//!   Fast mode never changes which special values (`NaN`/`±∞`) appear —
+//!   only the rounding of finite sums.
+//!
+//! Everything below this paragraph describes the **strict** contract.
+//! Every kernel computes each output element's partial products in
 //! exactly the ascending-`k` order of the textbook i-k-j loop (and of the
 //! tiled reference kernel, [`Tensor::matmul_accum_into_tiled`]). Two
 //! mechanical transformations are layered on top, and both are chosen
@@ -34,12 +50,57 @@
 //! is a condvar wake instead of a thread spawn, which is why the
 //! default floor is far lower than it was under the scoped driver.
 
+pub mod fast;
 pub mod pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Sentinel for "not yet initialized from the environment".
 const UNSET: usize = usize::MAX;
+
+/// Numeric contract of the deployed kernels — see the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum KernelMode {
+    /// Bitwise-parity kernels: ascending-`k` accumulation, rows-only
+    /// sharding, no `mul_add`. Identical bits at any thread count.
+    #[default]
+    Strict,
+    /// Reassociated kernels: FMA accumulators, `k`-split sharding,
+    /// online-max softmax. ε-close to strict; identical decisions and
+    /// identical special-value (`NaN`/`±∞`) propagation.
+    Fast,
+}
+
+impl KernelMode {
+    /// Stable lowercase name — the spelling used by `NVC_KERNEL_MODE`,
+    /// `--kernel-mode` and the observability surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Strict => "strict",
+            KernelMode::Fast => "fast",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "strict" => Ok(KernelMode::Strict),
+            "fast" => Ok(KernelMode::Fast),
+            other => Err(format!("unknown kernel mode {other:?} (strict|fast)")),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Kernel-mode sentinel/values (`UNSET` → read `NVC_KERNEL_MODE`).
+static MODE: AtomicUsize = AtomicUsize::new(UNSET);
 
 /// Requested worker count (`0`/`1` = single-threaded).
 static THREADS: AtomicUsize = AtomicUsize::new(UNSET);
@@ -135,6 +196,38 @@ pub fn set_matmul_pool(on: bool) {
     POOL_MODE.store(on as usize, Ordering::Relaxed);
 }
 
+/// The mode `NVC_KERNEL_MODE` asks for ([`KernelMode::Strict`] when unset
+/// or unparsable) — the default `NvConfig`-level value, so a CI leg can
+/// drive the fast path through every existing test without touching
+/// configs.
+pub fn default_kernel_mode() -> KernelMode {
+    match std::env::var("NVC_KERNEL_MODE") {
+        Ok(v) => v.parse().unwrap_or(KernelMode::Strict),
+        Err(_) => KernelMode::Strict,
+    }
+}
+
+/// Current process-wide kernel mode.
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        UNSET => {
+            let v = default_kernel_mode();
+            MODE.store(v as usize, Ordering::Relaxed);
+            v
+        }
+        v if v == KernelMode::Fast as usize => KernelMode::Fast,
+        _ => KernelMode::Strict,
+    }
+}
+
+/// Sets the process-wide kernel mode. Unlike the thread-count knob this
+/// is *not* result-neutral: strict and fast differ in low-order bits (not
+/// in decisions), so flip it at process scope — config application,
+/// test pins — not mid-computation.
+pub fn set_kernel_mode(mode: KernelMode) {
+    MODE.store(mode as usize, Ordering::Relaxed);
+}
+
 /// Workers actually engaged for a product with `rows` output rows and
 /// `madds` total multiply-adds: the requested count, capped by the row
 /// count (shards are whole rows) and by the work floor.
@@ -144,6 +237,64 @@ pub(crate) fn effective_threads(rows: usize, madds: usize) -> usize {
         return 1;
     }
     requested.min(rows).min(1 + madds / matmul_grain())
+}
+
+/// Fast-mode-only scheduler: how many reduction-dimension (`k`) shards a
+/// `rows × kd` product should split into, or `None` when row sharding
+/// (or staying serial) already uses every funded worker. `k`-splitting
+/// only wins on tall-thin products — the 340-wide policy shapes — where
+/// the output row count is what caps [`effective_threads`]; per-shard
+/// partial sums reassociate the reduction, which is why strict mode
+/// never takes this path.
+pub(crate) fn k_split_shards(rows: usize, kd: usize, madds: usize) -> Option<usize> {
+    let requested = matmul_threads();
+    if requested <= 1 || kd < 2 || rows == 0 {
+        return None;
+    }
+    let funded = requested.min(1 + madds / matmul_grain());
+    if funded <= rows.max(1) {
+        return None;
+    }
+    Some(funded.min(kd))
+}
+
+/// Fast-mode `k`-split driver: runs `kernel(k0, k1, partial)` once per
+/// `k` window, each window accumulating the full `m × n` output into its
+/// own zeroed partial buffer, then combines the partials into `out` in
+/// ascending window order on the caller. The shard list goes through the
+/// same [`run_spans`] tail as row sharding, so the pool and the scoped
+/// driver execute identical `k`-split work — including identical panic
+/// semantics (the injection marker stays the *output* row count `m`; an
+/// armed "row" index is interpreted as a `k` index here).
+pub(crate) fn run_mm_k_split(
+    shards: usize,
+    m: usize,
+    n: usize,
+    kd: usize,
+    out: &mut [f32],
+    kernel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(shards >= 2 && shards <= kd);
+    let per = kd.div_ceil(shards);
+    let nwin = kd.div_ceil(per);
+    let mut partials = vec![0.0f32; nwin * m * n];
+    let mut spans = Vec::with_capacity(nwin);
+    let mut rest = partials.as_mut_slice();
+    let mut k0 = 0;
+    while k0 < kd {
+        let k1 = (k0 + per).min(kd);
+        let (window, tail) = rest.split_at_mut(m * n);
+        rest = tail;
+        spans.push((k0, k1, window));
+        k0 = k1;
+    }
+    run_spans(spans, m, kernel);
+    for window in partials.chunks_exact(m * n) {
+        for (o, &p) in out.iter_mut().zip(window.iter()) {
+            *o += p;
+        }
+    }
 }
 
 /// Arms the failure-injection hook: the shard owning `row` panics, but
@@ -527,6 +678,68 @@ mod tests {
             });
             let want: Vec<f32> = (0..rows * cols).map(|x| x as f32).collect();
             assert_eq!(out, want, "threads={threads} rows={rows}");
+        }
+    }
+
+    #[test]
+    fn kernel_mode_knob_parses_and_sticks() {
+        let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_kernel_mode(KernelMode::Fast);
+        assert_eq!(kernel_mode(), KernelMode::Fast);
+        set_kernel_mode(KernelMode::Strict);
+        assert_eq!(kernel_mode(), KernelMode::Strict);
+        assert_eq!("fast".parse(), Ok(KernelMode::Fast));
+        assert_eq!(" Strict ".parse(), Ok(KernelMode::Strict));
+        assert!("blazing".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::Fast.name(), "fast");
+        set_kernel_mode(default_kernel_mode());
+    }
+
+    #[test]
+    fn k_split_engages_only_on_tall_thin_funded_products() {
+        let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_matmul_threads(8);
+        set_matmul_grain(1);
+        // The 2×340·340×64 policy shape: rows cap row sharding at 2, so
+        // the 8 funded workers split the 340-deep reduction instead.
+        assert_eq!(k_split_shards(2, 340, 2 * 340 * 64), Some(8));
+        // Short reductions can't hand every worker a window.
+        assert_eq!(k_split_shards(2, 3, usize::MAX / 2), Some(3));
+        // Wide-enough outputs keep row sharding (it funds all workers).
+        assert_eq!(k_split_shards(512, 340, usize::MAX / 2), None);
+        // Degenerate shapes never split.
+        assert_eq!(k_split_shards(2, 1, usize::MAX / 2), None);
+        assert_eq!(k_split_shards(0, 340, usize::MAX / 2), None);
+        // The work floor still gates the split.
+        set_matmul_grain(DEFAULT_MATMUL_GRAIN);
+        assert_eq!(k_split_shards(2, 340, 10), None);
+        set_matmul_threads(1);
+        assert_eq!(k_split_shards(2, 340, usize::MAX / 2), None);
+        set_matmul_threads(default_matmul_threads());
+        set_matmul_grain(DEFAULT_MATMUL_GRAIN);
+    }
+
+    #[test]
+    fn k_split_driver_accumulates_every_window_into_out() {
+        let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (m, n, kd, shards) = (3usize, 2usize, 10usize, 4usize);
+        // Integer-valued work keeps float addition exact, so the partial
+        // combine must reproduce the serial sum bit-for-bit.
+        let mut out = vec![1.0f32; m * n];
+        run_mm_k_split(shards, m, n, kd, &mut out, &|k0, k1, partial| {
+            for i in 0..m {
+                for j in 0..n {
+                    for k in k0..k1 {
+                        partial[i * n + j] += (i * 100 + j * 10 + k) as f32;
+                    }
+                }
+            }
+        });
+        for i in 0..m {
+            for j in 0..n {
+                let want: f32 = 1.0 + (0..kd).map(|k| (i * 100 + j * 10 + k) as f32).sum::<f32>();
+                assert_eq!(out[i * n + j], want, "element ({i},{j})");
+            }
         }
     }
 

@@ -1,0 +1,564 @@
+//! Fast-mode kernel bodies: fused-multiply-add accumulators and the
+//! single-pass online-max softmax.
+//!
+//! Every body is written once, generic over a [`Madd`] strategy, and
+//! monomorphized twice:
+//!
+//! * [`Fused`] uses `f32::mul_add`. That intrinsic is only fast when the
+//!   compiler can emit a hardware `vfmadd`; without the `fma` target
+//!   feature it lowers to the correctly-rounded-but-slow libm `fmaf`. So
+//!   the fused instantiations live behind
+//!   `#[target_feature(enable = "avx2", enable = "fma")]` wrappers and
+//!   are only dispatched when [`fused_available`] detects both features
+//!   at runtime.
+//! * [`Unfused`] is the plain `acc + a * b` everywhere else. Fast mode's
+//!   other two relaxations (`k`-split sharding, online softmax) still
+//!   apply on such hosts.
+//!
+//! The dispatch decision is made once per process and shared by every
+//! fast kernel: mixed fused/unfused chains inside one process would break
+//! the chain-equality arguments the fast test tier relies on (e.g. the
+//! fused `linear` must equal `matmul` + bias broadcast bit-for-bit at one
+//! thread, which holds only if both picked the same madd).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One multiply-accumulate step — the only thing the two instantiations
+/// disagree on.
+pub(crate) trait Madd {
+    fn madd(a: f32, b: f32, acc: f32) -> f32;
+}
+
+/// Hardware-FMA fold (`a.mul_add(b, acc)`, one rounding).
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+pub(crate) struct Fused;
+impl Madd for Fused {
+    #[inline(always)]
+    fn madd(a: f32, b: f32, acc: f32) -> f32 {
+        a.mul_add(b, acc)
+    }
+}
+
+/// Plain fold (`acc + a * b`, two roundings).
+pub(crate) struct Unfused;
+impl Madd for Unfused {
+    #[inline(always)]
+    fn madd(a: f32, b: f32, acc: f32) -> f32 {
+        acc + a * b
+    }
+}
+
+/// Whether this process dispatches the [`Fused`] instantiations. Decided
+/// once (AVX2 + FMA detected at runtime on x86-64; `false` elsewhere) and
+/// cached, so every fast kernel in the process agrees.
+pub fn fused_available() -> bool {
+    static FMA: AtomicU8 = AtomicU8::new(2);
+    match FMA.load(Ordering::Relaxed) {
+        2 => {
+            #[cfg(target_arch = "x86_64")]
+            let v = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
+            #[cfg(not(target_arch = "x86_64"))]
+            let v = false;
+            FMA.store(v as u8, Ordering::Relaxed);
+            v
+        }
+        v => v == 1,
+    }
+}
+
+/// `out_rows (+)= a[r0..r1, ks..ke] × b[ks..ke, :]` — the fast twin of
+/// [`super::mm_rows`] with madd accumulators and an explicit `k` window
+/// so the same body serves both row shards (`ks..ke` = `0..kd`) and
+/// `k`-split shards (full rows, one window).
+#[inline(always)]
+fn mm_rows_g<M: Madd>(
+    a: &[f32],
+    b: &[f32],
+    kd: usize,
+    n: usize,
+    ks: usize,
+    ke: usize,
+    r0: usize,
+    r1: usize,
+    out_rows: &mut [f32],
+) {
+    const KB: usize = 64;
+    const JB: usize = 64;
+    let mut kb = ks;
+    loop {
+        let k_end = (kb + KB).min(ke);
+        let mut jb = 0;
+        while jb < n {
+            let j_end = (jb + JB).min(n);
+            for i in r0..r1 {
+                let a_row = &a[i * kd..(i + 1) * kd];
+                let base = (i - r0) * n;
+                mm_tile_row_g::<M>(
+                    a_row,
+                    b,
+                    n,
+                    kb,
+                    k_end,
+                    jb,
+                    &mut out_rows[base + jb..base + j_end],
+                );
+            }
+            jb = j_end;
+        }
+        kb = k_end;
+        if kb >= ke {
+            break;
+        }
+    }
+}
+
+/// One row × one `(kb..k_end, jb..)` tile, madd register blocks — the
+/// fast twin of [`super::mm_tile_row`].
+///
+/// The main block is 32 columns wide: four independent 8-lane
+/// accumulators in flight per `k` step, because a *single* fused chain is
+/// latency-bound (one ~4-cycle FMA per step — exactly the throughput of
+/// strict's two mul+add chains, i.e. no win at all). Column blocking is
+/// pure instruction-level parallelism: every output element still folds
+/// its own ascending-`k` madd chain, so the block width changes no bits.
+#[inline(always)]
+fn mm_tile_row_g<M: Madd>(
+    a_row: &[f32],
+    b: &[f32],
+    n: usize,
+    kb: usize,
+    k_end: usize,
+    jb: usize,
+    out_tile: &mut [f32],
+) {
+    let width = out_tile.len();
+    let mut j = 0;
+    while j + 32 <= width {
+        let mut acc = [[0.0f32; 8]; 4];
+        for (q, chunk) in out_tile[j..j + 32].chunks_exact(8).enumerate() {
+            acc[q].copy_from_slice(chunk);
+        }
+        for k in kb..k_end {
+            let av = a_row[k];
+            let base = k * n + jb + j;
+            let b_blk = &b[base..base + 32];
+            for q in 0..4 {
+                for l in 0..8 {
+                    acc[q][l] = M::madd(av, b_blk[q * 8 + l], acc[q][l]);
+                }
+            }
+        }
+        for (q, chunk) in out_tile[j..j + 32].chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&acc[q]);
+        }
+        j += 32;
+    }
+    while j + 8 <= width {
+        let mut acc = [0.0f32; 8];
+        acc.copy_from_slice(&out_tile[j..j + 8]);
+        for k in kb..k_end {
+            let av = a_row[k];
+            let b_blk = &b[k * n + jb + j..k * n + jb + j + 8];
+            acc[0] = M::madd(av, b_blk[0], acc[0]);
+            acc[1] = M::madd(av, b_blk[1], acc[1]);
+            acc[2] = M::madd(av, b_blk[2], acc[2]);
+            acc[3] = M::madd(av, b_blk[3], acc[3]);
+            acc[4] = M::madd(av, b_blk[4], acc[4]);
+            acc[5] = M::madd(av, b_blk[5], acc[5]);
+            acc[6] = M::madd(av, b_blk[6], acc[6]);
+            acc[7] = M::madd(av, b_blk[7], acc[7]);
+        }
+        out_tile[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    while j < width {
+        let mut acc = out_tile[j];
+        for k in kb..k_end {
+            acc = M::madd(a_row[k], b[k * n + jb + j], acc);
+        }
+        out_tile[j] = acc;
+        j += 1;
+    }
+}
+
+/// Fast twin of [`super::tn_rows`] (`out (+)= (aᵀ×b)[i0..i1]`).
+#[inline(always)]
+fn tn_rows_g<M: Madd>(
+    a: &[f32],
+    b: &[f32],
+    kr: usize,
+    m: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    for k in 0..kr {
+        let a_row = &a[k * m..(k + 1) * m];
+        let b_row = &b[k * n..(k + 1) * n];
+        for i in i0..i1 {
+            let av = a_row[i];
+            let out_row = &mut out_rows[(i - i0) * n..(i - i0 + 1) * n];
+            let mut xc = b_row.chunks_exact(8);
+            let mut yc = out_row.chunks_exact_mut(8);
+            for (xs, ys) in (&mut xc).zip(&mut yc) {
+                ys[0] = M::madd(av, xs[0], ys[0]);
+                ys[1] = M::madd(av, xs[1], ys[1]);
+                ys[2] = M::madd(av, xs[2], ys[2]);
+                ys[3] = M::madd(av, xs[3], ys[3]);
+                ys[4] = M::madd(av, xs[4], ys[4]);
+                ys[5] = M::madd(av, xs[5], ys[5]);
+                ys[6] = M::madd(av, xs[6], ys[6]);
+                ys[7] = M::madd(av, xs[7], ys[7]);
+            }
+            for (xv, yv) in xc.remainder().iter().zip(yc.into_remainder()) {
+                *yv = M::madd(av, *xv, *yv);
+            }
+        }
+    }
+}
+
+/// Fast twin of [`super::nt_rows`] (`out (+)= (a×bᵀ)[i0..i1]`).
+#[inline(always)]
+fn nt_rows_g<M: Madd>(
+    a: &[f32],
+    b: &[f32],
+    kd: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    for i in i0..i1 {
+        let a_row = &a[i * kd..(i + 1) * kd];
+        let out_row = &mut out_rows[(i - i0) * n..(i - i0 + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * kd..(j + 1) * kd];
+            let b1 = &b[(j + 1) * kd..(j + 2) * kd];
+            let b2 = &b[(j + 2) * kd..(j + 3) * kd];
+            let b3 = &b[(j + 3) * kd..(j + 4) * kd];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for k in 0..kd {
+                let av = a_row[k];
+                s0 = M::madd(av, b0[k], s0);
+                s1 = M::madd(av, b1[k], s1);
+                s2 = M::madd(av, b2[k], s2);
+                s3 = M::madd(av, b3[k], s3);
+            }
+            out_row[j] += s0;
+            out_row[j + 1] += s1;
+            out_row[j + 2] += s2;
+            out_row[j + 3] += s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * kd..(j + 1) * kd];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc = M::madd(av, bv, acc);
+            }
+            out_row[j] += acc;
+            j += 1;
+        }
+    }
+}
+
+/// `out_row = Σ_r alpha[r] · x[r, :]` over rows `r0..r1` of `x` — the
+/// fast attention-pooling body (madd fold in ascending `r`).
+#[inline(always)]
+fn weighted_sum_g<M: Madd>(
+    alpha: &[f32],
+    x: &[f32],
+    d: usize,
+    r0: usize,
+    r1: usize,
+    out_row: &mut [f32],
+) {
+    for r in r0..r1 {
+        let av = alpha[r];
+        let x_row = &x[r * d..(r + 1) * d];
+        for (o, &xv) in out_row.iter_mut().zip(x_row.iter()) {
+            *o = M::madd(av, xv, *o);
+        }
+    }
+}
+
+// --- AVX2+FMA instantiations -------------------------------------------
+//
+// The `#[target_feature]` wrappers are where the `Fused` bodies pick up
+// hardware `vfmadd` codegen (and 256-bit auto-vectorization of the
+// 8-wide blocks). Calling one is only sound after `fused_available()`
+// returned true, which is exactly what the public entry points check.
+
+macro_rules! fma_wrapper {
+    ($wrapper:ident, $generic:ident, ($($arg:ident : $ty:ty),*)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn $wrapper($($arg: $ty),*) {
+            $generic::<Fused>($($arg),*)
+        }
+    };
+}
+
+fma_wrapper!(mm_rows_fma, mm_rows_g, (
+    a: &[f32], b: &[f32], kd: usize, n: usize, ks: usize, ke: usize,
+    r0: usize, r1: usize, out_rows: &mut [f32]
+));
+fma_wrapper!(tn_rows_fma, tn_rows_g, (
+    a: &[f32], b: &[f32], kr: usize, m: usize, n: usize,
+    i0: usize, i1: usize, out_rows: &mut [f32]
+));
+fma_wrapper!(nt_rows_fma, nt_rows_g, (
+    a: &[f32], b: &[f32], kd: usize, n: usize,
+    i0: usize, i1: usize, out_rows: &mut [f32]
+));
+fma_wrapper!(weighted_sum_fma, weighted_sum_g, (
+    alpha: &[f32], x: &[f32], d: usize, r0: usize, r1: usize, out_row: &mut [f32]
+));
+
+/// Fast `out_rows (+)= a[r0..r1, ks..ke] × b[ks..ke, :]`.
+pub(crate) fn mm_rows_fast(
+    a: &[f32],
+    b: &[f32],
+    kd: usize,
+    n: usize,
+    ks: usize,
+    ke: usize,
+    r0: usize,
+    r1: usize,
+    out_rows: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fused_available() {
+        // SAFETY: `fused_available` verified avx2+fma on this CPU.
+        unsafe { mm_rows_fma(a, b, kd, n, ks, ke, r0, r1, out_rows) };
+        return;
+    }
+    mm_rows_g::<Unfused>(a, b, kd, n, ks, ke, r0, r1, out_rows)
+}
+
+/// Fast `out_rows (+)= (aᵀ × b)[i0..i1]`.
+pub(crate) fn tn_rows_fast(
+    a: &[f32],
+    b: &[f32],
+    kr: usize,
+    m: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fused_available() {
+        // SAFETY: `fused_available` verified avx2+fma on this CPU.
+        unsafe { tn_rows_fma(a, b, kr, m, n, i0, i1, out_rows) };
+        return;
+    }
+    tn_rows_g::<Unfused>(a, b, kr, m, n, i0, i1, out_rows)
+}
+
+/// Fast `out_rows (+)= (a × bᵀ)[i0..i1]`.
+pub(crate) fn nt_rows_fast(
+    a: &[f32],
+    b: &[f32],
+    kd: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fused_available() {
+        // SAFETY: `fused_available` verified avx2+fma on this CPU.
+        unsafe { nt_rows_fma(a, b, kd, n, i0, i1, out_rows) };
+        return;
+    }
+    nt_rows_g::<Unfused>(a, b, kd, n, i0, i1, out_rows)
+}
+
+/// Fast `out_row += Σ_r alpha[r] · x[r, :]` for `r` in `r0..r1`.
+pub(crate) fn weighted_sum_fast(
+    alpha: &[f32],
+    x: &[f32],
+    d: usize,
+    r0: usize,
+    r1: usize,
+    out_row: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fused_available() {
+        // SAFETY: `fused_available` verified avx2+fma on this CPU.
+        unsafe { weighted_sum_fma(alpha, x, d, r0, r1, out_row) };
+        return;
+    }
+    weighted_sum_g::<Unfused>(alpha, x, d, r0, r1, out_row)
+}
+
+/// Madd-fold dot product in ascending index order — the chain of one
+/// `nt` output element, used by segment backward passes so their
+/// per-row dots stay bitwise-equal to the per-sample `matmul_nt` chain.
+#[inline(always)]
+fn dot_g<M: Madd>(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc = M::madd(x, y, acc);
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+    dot_g::<Fused>(a, b)
+}
+
+/// Fast dot product (see [`dot_g`]).
+pub(crate) fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if fused_available() {
+        // SAFETY: `fused_available` verified avx2+fma on this CPU.
+        return unsafe { dot_fma(a, b) };
+    }
+    dot_g::<Unfused>(a, b)
+}
+
+/// Single-pass online-max softmax over the strided column
+/// `buf[start + i·stride]`, `i` in `0..count` — one data pass for max and
+/// sum together, then one scaling pass, instead of strict's separate
+/// max / exp-sum / divide passes.
+///
+/// Special values propagate exactly as in the strict three-pass kernel:
+///
+/// * a `NaN` element poisons the running sum (every output `NaN`, like
+///   strict, whose `NaN`-skipping max fold still hits `exp(NaN)`);
+/// * a `+∞` element drives `m` to `+∞`, so its own contribution is
+///   `exp(∞−∞) = NaN` (every output `NaN`, like strict);
+/// * `−∞` elements are *skipped* by the sum update — they contribute
+///   `exp(−∞) = 0` in strict, and skipping (rather than folding
+///   `exp(m_old − x) = exp(NaN)` when the running max is still `−∞`)
+///   keeps an all-`−∞` prefix from spuriously poisoning a finite row;
+/// * an all-`−∞` (or empty) column leaves `sum = 0`, and the output pass
+///   produces `exp(−∞ − −∞) · ∞ = NaN` — strict's `0/0` on such rows.
+///
+/// The two `if`s must stay separate and in this order: the current
+/// element's own contribution has to be computed *after* the max update
+/// so it is `exp(x − x) = 1` for a new maximum (or `NaN` for `+∞`).
+pub(crate) fn online_softmax_strided(buf: &mut [f32], start: usize, stride: usize, count: usize) {
+    let mut m = f32::NEG_INFINITY;
+    let mut sum = 0.0f32;
+    for i in 0..count {
+        let x = buf[start + i * stride];
+        if x > m {
+            sum *= (m - x).exp();
+            m = x;
+        }
+        if x != f32::NEG_INFINITY {
+            sum += (x - m).exp();
+        }
+    }
+    let inv = 1.0 / sum;
+    for i in 0..count {
+        let idx = start + i * stride;
+        buf[idx] = (buf[idx] - m).exp() * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict_softmax(xs: &[f32]) -> Vec<f32> {
+        // The strict kernel's exact shape: NaN-skipping max fold, then
+        // exp-sum, then divide.
+        let m = xs.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+        let exps: Vec<f32> = xs.iter().map(|&x| (x - m).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.iter().map(|&e| e / sum).collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn online_softmax_matches_strict_on_special_rows() {
+        let rows: &[&[f32]] = &[
+            &[1.0, 2.0, 3.0],
+            &[5.0],
+            &[],
+            &[f32::NAN, 1.0, 2.0],
+            &[1.0, f32::INFINITY, 2.0],
+            &[f32::INFINITY, 5.0],
+            &[f32::NEG_INFINITY, 5.0, 6.0],
+            &[5.0, f32::NEG_INFINITY],
+            &[f32::NEG_INFINITY, f32::NEG_INFINITY],
+            &[f32::NAN, f32::INFINITY],
+            &[f32::NEG_INFINITY, f32::INFINITY],
+            &[-1e30, 1e30, 0.0],
+        ];
+        for row in rows {
+            let strict = strict_softmax(row);
+            let mut fast = row.to_vec();
+            let count = fast.len();
+            online_softmax_strided(&mut fast, 0, 1, count);
+            for (i, (&f, &s)) in fast.iter().zip(strict.iter()).enumerate() {
+                assert_eq!(
+                    f.is_nan(),
+                    s.is_nan(),
+                    "NaN-ness diverged at {i} for {row:?}: fast={f} strict={s}"
+                );
+                if !f.is_nan() {
+                    assert!(
+                        (f - s).abs() <= 1e-6,
+                        "value diverged at {i} for {row:?}: fast={f} strict={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_softmax_respects_stride() {
+        // Two interleaved columns: softmax each independently.
+        let mut buf = vec![1.0f32, 10.0, 2.0, 20.0, 3.0, 30.0];
+        online_softmax_strided(&mut buf, 0, 2, 3);
+        online_softmax_strided(&mut buf, 1, 2, 3);
+        let c0 = strict_softmax(&[1.0, 2.0, 3.0]);
+        let c1 = strict_softmax(&[10.0, 20.0, 30.0]);
+        for i in 0..3 {
+            assert!((buf[2 * i] - c0[i]).abs() <= 1e-6);
+            assert!((buf[2 * i + 1] - c1[i]).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn fast_matmul_families_are_close_to_strict_and_internally_deterministic() {
+        let (m, kd, n) = (5usize, 17usize, 9usize);
+        let a: Vec<f32> = (0..m * kd).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..kd * n).map(|i| ((i as f32) * 0.71).cos()).collect();
+        let mut strict = vec![0.0f32; m * n];
+        super::super::mm_rows(&a, &b, kd, n, 0, m, &mut strict);
+        let mut fast = vec![0.0f32; m * n];
+        mm_rows_fast(&a, &b, kd, n, 0, kd, 0, m, &mut fast);
+        for (f, s) in fast.iter().zip(strict.iter()) {
+            assert!((f - s).abs() <= 1e-4 * s.abs().max(1.0));
+        }
+        // Two k-windows must cover exactly the full reduction.
+        let mut split = vec![0.0f32; m * n];
+        let mut w0 = vec![0.0f32; m * n];
+        let mut w1 = vec![0.0f32; m * n];
+        mm_rows_fast(&a, &b, kd, n, 0, 9, 0, m, &mut w0);
+        mm_rows_fast(&a, &b, kd, n, 9, kd, 0, m, &mut w1);
+        for i in 0..m * n {
+            split[i] = w0[i] + w1[i];
+        }
+        for (f, s) in split.iter().zip(strict.iter()) {
+            assert!((f - s).abs() <= 1e-4 * s.abs().max(1.0));
+        }
+        // The dispatch is stable: a second call reproduces the same bits.
+        let mut again = vec![0.0f32; m * n];
+        mm_rows_fast(&a, &b, kd, n, 0, kd, 0, m, &mut again);
+        assert_eq!(bits(&fast), bits(&again));
+    }
+}

@@ -8,12 +8,16 @@
 //!
 //! * [`Tensor`] — dense row-major `f32` matrices with a threaded,
 //!   SIMD-explicit matmul family ([`kernels`]: 8-wide unrolled inner
-//!   loops, output rows sharded across scoped worker threads behind a
-//!   strict bitwise-parity contract — any thread count produces the
-//!   single-threaded bits) plus transpose-free `Aᵀ·B` / `A·Bᵀ` kernels
-//!   for the backward pass; the cache-blocked tiled kernel is retained
-//!   as the reference baseline
-//!   ([`Tensor::matmul_accum_into_tiled`]);
+//!   loops, output rows sharded across worker threads) plus
+//!   transpose-free `Aᵀ·B` / `A·Bᵀ` kernels for the backward pass; the
+//!   cache-blocked tiled kernel is retained as the reference baseline
+//!   ([`Tensor::matmul_accum_into_tiled`]). A process-wide
+//!   [`KernelMode`] picks the numeric contract: `Strict` (default) keeps
+//!   bitwise parity — any thread count produces the single-threaded bits
+//!   — while `Fast` (the serving default) runs fused-FMA accumulators,
+//!   reduction-dimension sharding for tall-thin shapes and a single-pass
+//!   online softmax, ε-close to strict with identical decisions and
+//!   special-value propagation;
 //! * [`Graph`] — a tape of operations supporting `matmul`, a fused
 //!   `linear` (matmul + bias broadcast in one node), broadcasting adds,
 //!   `tanh`/`relu`/`exp`/`ln`, row softmax / log-softmax, embedding
@@ -73,6 +77,7 @@ pub mod tensor;
 
 pub use arena::{ArenaStats, TensorArena};
 pub use graph::{Graph, NodeId, Segments};
+pub use kernels::KernelMode;
 pub use params::{Adam, ParamId, ParamStore};
 pub use tensor::Tensor;
 

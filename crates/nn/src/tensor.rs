@@ -129,10 +129,10 @@ impl Tensor {
 
     /// Accumulates `self × other` into `out` (`out += self × other`).
     ///
-    /// The deployed kernel: the tiled loop of
-    /// [`Tensor::matmul_accum_into_tiled`] with its inner columns run as
-    /// explicit 8-wide register-accumulator blocks, and the output rows
-    /// optionally sharded across scoped worker threads
+    /// In [`KernelMode::Strict`](kernels::KernelMode) this is the tiled
+    /// loop of [`Tensor::matmul_accum_into_tiled`] with its inner columns
+    /// run as explicit 8-wide register-accumulator blocks, and the output
+    /// rows optionally sharded across worker threads
     /// ([`crate::kernels::set_matmul_threads`]; small products stay
     /// serial under the work floor). For each output element the partial
     /// products are still summed in ascending `k` — unroll lanes are
@@ -141,6 +141,14 @@ impl Tensor {
     /// count, which is what keeps batched forwards equal to per-sample
     /// forwards. Dense data takes no branches in the inner loop and
     /// `0 × NaN` propagates as NaN (IEEE semantics, no zero-skip).
+    ///
+    /// In [`KernelMode::Fast`](kernels::KernelMode) the same tile
+    /// structure runs with fused `mul_add` accumulators
+    /// ([`kernels::fast`]), and tall-thin products whose row count caps
+    /// row sharding split the reduction dimension across workers instead
+    /// ([`kernels::k_split_shards`]), each worker producing a partial
+    /// `m×n` sum combined on the caller — ε-close to strict, identical
+    /// `NaN`/`±∞` propagation, identical decisions.
     ///
     /// # Panics
     ///
@@ -158,7 +166,31 @@ impl Tensor {
         );
         let _timer = nvc_obs::time_op(nvc_obs::Op::MatMul);
         let (m, kd, n) = (self.rows, self.cols, other.cols);
-        let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));
+        let madds = m.saturating_mul(kd).saturating_mul(n);
+        if kernels::kernel_mode() == kernels::KernelMode::Fast {
+            if let Some(shards) = kernels::k_split_shards(m, kd, madds) {
+                kernels::run_mm_k_split(shards, m, n, kd, &mut out.data, &|k0, k1, partial| {
+                    kernels::fast::mm_rows_fast(
+                        &self.data,
+                        &other.data,
+                        kd,
+                        n,
+                        k0,
+                        k1,
+                        0,
+                        m,
+                        partial,
+                    );
+                });
+                return;
+            }
+            let threads = kernels::effective_threads(m, madds);
+            kernels::run_row_sharded(threads, m, n, &mut out.data, &|r0, r1, rows| {
+                kernels::fast::mm_rows_fast(&self.data, &other.data, kd, n, 0, kd, r0, r1, rows);
+            });
+            return;
+        }
+        let threads = kernels::effective_threads(m, madds);
         kernels::run_row_sharded(threads, m, n, &mut out.data, &|r0, r1, rows| {
             kernels::mm_rows(&self.data, &other.data, kd, n, r0, r1, rows);
         });
@@ -250,6 +282,12 @@ impl Tensor {
         assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
         let kr = self.rows;
         let threads = kernels::effective_threads(m, kr.saturating_mul(m).saturating_mul(n));
+        if kernels::kernel_mode() == kernels::KernelMode::Fast {
+            kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
+                kernels::fast::tn_rows_fast(&self.data, &other.data, kr, m, n, i0, i1, rows);
+            });
+            return;
+        }
         kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
             kernels::tn_rows(&self.data, &other.data, kr, m, n, i0, i1, rows);
         });
@@ -290,6 +328,12 @@ impl Tensor {
         let (m, kd, n) = (self.rows, self.cols, other.rows);
         assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
         let threads = kernels::effective_threads(m, m.saturating_mul(kd).saturating_mul(n));
+        if kernels::kernel_mode() == kernels::KernelMode::Fast {
+            kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
+                kernels::fast::nt_rows_fast(&self.data, &other.data, kd, n, i0, i1, rows);
+            });
+            return;
+        }
         kernels::run_row_sharded(threads, m, n, &mut out.data, &|i0, i1, rows| {
             kernels::nt_rows(&self.data, &other.data, kd, n, i0, i1, rows);
         });
@@ -499,6 +543,13 @@ mod tests {
     /// dimensions beyond one 64-wide block.
     #[test]
     fn tiled_matmul_matches_reference_across_blocks() {
+        // Deployed-vs-reference bitwise equality is a *strict*-contract
+        // claim; pin the mode so the NVC_KERNEL_MODE=fast CI leg keeps
+        // asserting it (fast is covered by tests/fast_parity.rs).
+        let _guard = crate::kernels::KNOB_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::kernels::set_kernel_mode(crate::kernels::KernelMode::Strict);
         for &(m, k, n) in &[
             (1, 1, 1),
             (3, 70, 5),
@@ -512,6 +563,7 @@ mod tests {
             let reference = matmul_reference(&a, &b);
             assert_eq!(tiled, reference, "tiled kernel diverged at {m}x{k}x{n}");
         }
+        crate::kernels::set_kernel_mode(crate::kernels::default_kernel_mode());
     }
 
     /// The deployed (unrolled, optionally threaded) kernel and the tiled
@@ -523,6 +575,8 @@ mod tests {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         crate::kernels::set_matmul_grain(1);
+        // Bitwise equality to the tiled baseline is the strict contract.
+        crate::kernels::set_kernel_mode(crate::kernels::KernelMode::Strict);
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
             (5, 70, 13),
@@ -546,10 +600,17 @@ mod tests {
         // so the NVC_MATMUL_THREADS CI leg stays threaded after this test.
         crate::kernels::set_matmul_threads(crate::kernels::default_matmul_threads());
         crate::kernels::set_matmul_grain(crate::kernels::DEFAULT_MATMUL_GRAIN);
+        crate::kernels::set_kernel_mode(crate::kernels::default_kernel_mode());
     }
 
     #[test]
     fn matmul_tn_nt_match_materialized_transposes() {
+        // Holds at either mode (both sides share one madd chain per
+        // element), but the mode must not *flip between* the two deployed
+        // calls — serialize against the mode-pinning tests.
+        let _guard = crate::kernels::KNOB_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         for &(m, k, n) in &[(1, 4, 3), (9, 70, 11), (33, 5, 80)] {
             // tn: aᵀ·b where a is k×m (shared leading dim k).
             let a = random_tensor(k, m, 11 + m as u64);
@@ -598,10 +659,18 @@ mod tests {
             seed in 0u64..1000
         ) {
             use rand::{Rng, SeedableRng};
+            // Strict-contract claim: pin the mode for this case (fast is
+            // covered ε-wise in tests/fast_parity.rs).
+            let _guard = crate::kernels::KNOB_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            crate::kernels::set_kernel_mode(crate::kernels::KernelMode::Strict);
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let a = Tensor::from_vec(m, k, (0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect());
             let b = Tensor::from_vec(k, n, (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect());
-            prop_assert_eq!(a.matmul(&b), matmul_reference(&a, &b));
+            let got = a.matmul(&b);
+            crate::kernels::set_kernel_mode(crate::kernels::default_kernel_mode());
+            prop_assert_eq!(got, matmul_reference(&a, &b));
         }
 
         /// Transpose-free kernels agree bitwise with transpose-then-matmul.
@@ -611,6 +680,10 @@ mod tests {
             seed in 0u64..1000
         ) {
             use rand::{Rng, SeedableRng};
+            // Mode-stable comparison (see matmul_tn_nt_match_...).
+            let _guard = crate::kernels::KNOB_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let a = Tensor::from_vec(k, m, (0..k*m).map(|_| rng.gen_range(-2.0..2.0)).collect());
             let b = Tensor::from_vec(k, n, (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect());

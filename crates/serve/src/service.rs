@@ -371,6 +371,10 @@ impl ServeHandle {
         let c = self.cache_stats();
         obj(vec![
             ("uptime_us", Json::from(m.uptime_us)),
+            (
+                "kernel_mode",
+                Json::from(nvc_nn::kernels::kernel_mode().name()),
+            ),
             ("requests", Json::from(m.requests)),
             ("errors", Json::from(m.errors)),
             ("loops_served", Json::from(m.loops_served)),
@@ -430,10 +434,14 @@ impl ServeHandle {
         ])
     }
 
-    /// Prometheus text exposition of this service's metrics registry.
-    /// `labels` is spliced into every sample (`""` for none).
+    /// Prometheus text exposition of this service's metrics registry,
+    /// followed by the kernel op timers (each op sample labelled with the
+    /// active `kernel_mode` so dashboards can split strict vs fast
+    /// traffic). `labels` is spliced into every sample (`""` for none).
     pub fn render_prometheus(&self, labels: &str) -> String {
-        self.inner.metrics.registry().render_prometheus(labels)
+        let mut out = self.inner.metrics.registry().render_prometheus(labels);
+        out.push_str(&render_ops_prometheus(labels));
+        out
     }
 
     /// The metrics registry behind this handle's instruments.
@@ -555,6 +563,48 @@ impl Drop for ServeHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Prometheus exposition of the kernel op timers. Mirrors
+/// [`ops_json`]'s filter (only ops that ran; empty when `NVC_OPS` is
+/// off) and splices `labels` in front of the per-sample label set the
+/// same way the metrics registry does.
+fn render_ops_prometheus(labels: &str) -> String {
+    use std::fmt::Write as _;
+    let mode = nvc_nn::kernels::kernel_mode().name();
+    let snap: Vec<_> = nvc_obs::ops_snapshot()
+        .into_iter()
+        .filter(|s| s.calls > 0)
+        .collect();
+    if snap.is_empty() {
+        return String::new();
+    }
+    let set = |op: &str| {
+        if labels.is_empty() {
+            format!("op=\"{op}\",kernel_mode=\"{mode}\"")
+        } else {
+            format!("{labels},op=\"{op}\",kernel_mode=\"{mode}\"")
+        }
+    };
+    let mut out = String::from("# TYPE nvc_kernel_op_calls_total counter\n");
+    for s in &snap {
+        let _ = writeln!(
+            out,
+            "nvc_kernel_op_calls_total{{{}}} {}",
+            set(s.op.name()),
+            s.calls
+        );
+    }
+    out.push_str("# TYPE nvc_kernel_op_time_us_total counter\n");
+    for s in &snap {
+        let _ = writeln!(
+            out,
+            "nvc_kernel_op_time_us_total{{{}}} {}",
+            set(s.op.name()),
+            s.total_ns as f64 / 1_000.0
+        );
+    }
+    out
 }
 
 /// The kernel op-timer aggregates as one JSON object: op name →

@@ -8,6 +8,18 @@ use nvc_datasets::{generator, suite};
 use nvc_machine::TargetConfig;
 use nvc_rl::ActionSpaceKind;
 
+/// Serializes every test that constructs a [`NeuroVectorizer`]:
+/// construction re-asserts the process-global kernel knobs (threads *and*
+/// mode) from its config, and unlike the thread count the kernel mode is
+/// not bitwise-neutral — a sibling flipping it mid-run would not be the
+/// benign race the threading doc below describes. Poisoning is ignored so
+/// one failed test doesn't cascade.
+static MODEL_KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_model_knobs() -> std::sync::MutexGuard<'static, ()> {
+    MODEL_KNOBS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn generator_streams_are_reproducible() {
     assert_eq!(generator::generate(0, 64), generator::generate(0, 64));
@@ -32,6 +44,7 @@ fn environment_rewards_are_reproducible() {
 
 #[test]
 fn training_is_reproducible_per_seed() {
+    let _guard = lock_model_knobs();
     let run = |seed: u64| {
         let cfg = NvConfig::fast().with_seed(seed);
         let mut env = VectorizeEnv::new(generator::generate(3, 12), cfg.target.clone(), &cfg.embed);
@@ -70,6 +83,7 @@ fn figure_data_is_reproducible() {
 /// shards even at fast-config sizes.
 #[test]
 fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
+    let _guard = lock_model_knobs();
     nvc_nn::kernels::set_matmul_grain(1);
     for kind in [
         ActionSpaceKind::Discrete,
@@ -77,9 +91,16 @@ fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
         ActionSpaceKind::Continuous2D,
     ] {
         let run = |matmul_threads: usize, collect_threads: usize| {
+            // Pin strict explicitly: the bitwise guarantee is strict
+            // mode's contract, and must hold even when this binary runs
+            // under the `NVC_KERNEL_MODE=fast` CI leg (fast mode's
+            // k-split shard count varies with the thread knob by
+            // design). Fast mode's own bar — decision equivalence — is
+            // the kernel-mode axis test below.
             let mut cfg = NvConfig::fast()
                 .with_seed(19)
-                .with_matmul_threads(matmul_threads);
+                .with_matmul_threads(matmul_threads)
+                .with_kernel_mode(nvc_nn::KernelMode::Strict);
             cfg.ppo.collect_threads = collect_threads;
             cfg.ppo.action_space = kind;
             cfg.ppo.train_batch = 24;
@@ -118,6 +139,57 @@ fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
     }
     nvc_nn::kernels::set_matmul_threads(nvc_nn::kernels::default_matmul_threads());
     nvc_nn::kernels::set_matmul_grain(nvc_nn::kernels::DEFAULT_MATMUL_GRAIN);
+    nvc_nn::kernels::set_kernel_mode(nvc_nn::kernels::default_kernel_mode());
+}
+
+/// The kernel-mode axis of the same train ➝ checkpoint ➝ serve matrix:
+/// strict mode is the bitwise anchor (serving the same checkpoint twice
+/// reproduces identical decisions), and restoring that checkpoint into a
+/// **fast**-mode server must reproduce the *decisions* exactly. Fast
+/// kernels reassociate reductions, so intermediate f32s may differ in
+/// low bits — decision equivalence, not bit equality, is fast mode's
+/// contract (the ε bound itself is `tests/fast_parity.rs`).
+#[test]
+fn kernel_mode_fast_serving_is_decision_identical_to_strict() {
+    let _guard = lock_model_knobs();
+    nvc_nn::kernels::set_matmul_grain(1);
+    let mut cfg = NvConfig::fast()
+        .with_seed(19)
+        .with_kernel_mode(nvc_nn::KernelMode::Strict);
+    cfg.ppo.train_batch = 24;
+    cfg.ppo.minibatch = 8;
+    cfg.ppo.epochs = 2;
+    let mut env = VectorizeEnv::new(generator::generate(7, 6), cfg.target.clone(), &cfg.embed);
+    let mut nv = NeuroVectorizer::new(cfg.clone());
+    nv.train(&mut env, 2);
+    let checkpoint = nv.checkpoint();
+    let samples: Vec<_> = env.contexts().iter().map(|c| c.sample.clone()).collect();
+
+    let serve_decisions = |mode: nvc_nn::KernelMode| {
+        let mut m = NeuroVectorizer::new(cfg.clone().with_kernel_mode(mode));
+        m.restore(&checkpoint).expect("restore");
+        let handle = m.serve();
+        let decisions: Vec<(usize, usize)> = samples
+            .iter()
+            .map(|s| handle.decide_sample(s).expect("serve decision").0)
+            .collect();
+        handle.shutdown();
+        decisions
+    };
+
+    let strict = serve_decisions(nvc_nn::KernelMode::Strict);
+    assert_eq!(
+        serve_decisions(nvc_nn::KernelMode::Strict),
+        strict,
+        "strict serving must be reproducible"
+    );
+    assert_eq!(
+        serve_decisions(nvc_nn::KernelMode::Fast),
+        strict,
+        "fast-mode serving changed a decision"
+    );
+    nvc_nn::kernels::set_matmul_grain(nvc_nn::kernels::DEFAULT_MATMUL_GRAIN);
+    nvc_nn::kernels::set_kernel_mode(nvc_nn::kernels::default_kernel_mode());
 }
 
 /// Observability must be a pure observer: the same seeded train ➝
@@ -128,6 +200,7 @@ fn train_then_serve_is_bitwise_equal_across_thread_matrix() {
 /// is the one thing observability is allowed to observe.)
 #[test]
 fn observability_on_and_off_are_bitwise_equal() {
+    let _guard = lock_model_knobs();
     let run = || {
         let mut cfg = NvConfig::fast().with_seed(29);
         cfg.ppo.train_batch = 24;
@@ -163,6 +236,7 @@ fn observability_on_and_off_are_bitwise_equal() {
 
 #[test]
 fn inference_is_pure() {
+    let _guard = lock_model_knobs();
     let cfg = NvConfig::fast().with_seed(33);
     let env = VectorizeEnv::new(generator::generate(8, 8), cfg.target.clone(), &cfg.embed);
     let nv = NeuroVectorizer::new(cfg);

@@ -3,6 +3,12 @@
 //! panics or silent miscompiles.
 
 use neurovectorizer::{Compiler, NeuroVectorizer, NvConfig, VectorizeEnv};
+
+/// Serializes the three matmul panic tests: they arm the process-global
+/// injection hook and (the `k`-split twin) flip the process-global
+/// kernel mode, so they must not overlap each other. Lock poisoning is
+/// ignored — a failed sibling shouldn't cascade.
+static MATMUL_KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 use nvc_datasets::Kernel;
 use nvc_embed::{EmbedConfig, PathSample};
 use nvc_frontend::parse_translation_unit;
@@ -146,6 +152,7 @@ fn checkpoint_corruption_is_detected() {
 fn threaded_matmul_worker_panic_propagates_without_tearing_the_arena() {
     use nvc_nn::{kernels, Graph, ParamStore, Tensor, TensorArena};
 
+    let _guard = MATMUL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     // 53 rows with a distinctive total: no other test in this binary
     // builds a 53-row product, so arming the hook cannot hit them.
     const ROWS: usize = 53;
@@ -155,14 +162,13 @@ fn threaded_matmul_worker_panic_propagates_without_tearing_the_arena() {
         (0..ROWS * 8).map(|i| (i as f32 * 0.3).sin()).collect(),
     );
     let b = Tensor::from_vec(8, 6, (0..48).map(|i| (i as f32 * 0.7).cos()).collect());
-    let want = {
-        let mut out = Tensor::zeros(ROWS, 6);
-        a.matmul_accum_into_tiled(&b, &mut out);
-        out
-    };
 
     kernels::set_matmul_threads(4);
     kernels::set_matmul_grain(1);
+    // The reference is the *deployed* kernel under the same knobs (a
+    // clean run before arming the hook), so this test holds under both
+    // kernel modes — including the `NVC_KERNEL_MODE=fast` CI leg.
+    let want = a.matmul(&b);
     let store = ParamStore::new(0);
     let arena = TensorArena::new();
     kernels::inject_worker_panic(20, ROWS);
@@ -199,6 +205,7 @@ fn threaded_matmul_worker_panic_propagates_without_tearing_the_arena() {
 fn pool_and_scoped_drivers_share_panic_semantics() {
     use nvc_nn::{kernels, Graph, ParamStore, Tensor, TensorArena};
 
+    let _guard = MATMUL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
     // 59 rows: unique to this test within the binary (the hook arms on
     // the product's total row count).
     const ROWS: usize = 59;
@@ -208,14 +215,11 @@ fn pool_and_scoped_drivers_share_panic_semantics() {
         (0..ROWS * 5).map(|i| (i as f32 * 0.11).sin()).collect(),
     );
     let b = Tensor::from_vec(5, 4, (0..20).map(|i| (i as f32 * 0.9).cos()).collect());
-    let want = {
-        let mut out = Tensor::zeros(ROWS, 4);
-        a.matmul_accum_into_tiled(&b, &mut out);
-        out
-    };
 
     kernels::set_matmul_threads(4);
     kernels::set_matmul_grain(1);
+    // Deployed-kernel reference, mode-agnostic (see the arena twin).
+    let want = a.matmul(&b);
     let store = ParamStore::new(0);
     for pool in [true, false] {
         kernels::set_matmul_pool(pool);
@@ -258,6 +262,77 @@ fn pool_and_scoped_drivers_share_panic_semantics() {
     kernels::set_matmul_pool(std::env::var("NVC_MATMUL_POOL").map_or(true, |v| v.trim() != "0"));
     kernels::set_matmul_threads(kernels::default_matmul_threads());
     kernels::set_matmul_grain(kernels::DEFAULT_MATMUL_GRAIN);
+}
+
+/// Fast mode's `k`-split scheduler feeds reduction-dimension shards
+/// through the same span driver as row sharding — so a panicking
+/// `k`-shard must behave exactly like a panicking row shard: the payload
+/// resurfaces on the caller verbatim, under the pool *and* the scoped
+/// fallback driver, and the kernels compute clean values immediately
+/// afterwards.
+#[test]
+fn k_split_shard_panic_resurfaces_verbatim_under_both_drivers() {
+    use nvc_nn::{kernels, Tensor};
+
+    let _guard = MATMUL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    // Tall-thin shape: 47 output rows, 96-deep reduction. With 64 funded
+    // workers and the work floor pinned to 1, `k`-splitting engages
+    // (funded 64 > 47 rows) and cuts 96 into 2-wide `k` windows. The
+    // armed "row" 5 is interpreted as a `k` index by the split driver,
+    // so the window covering k=5 panics. 47 is unique in this binary, so
+    // the marker cannot trip concurrent tests.
+    const M: usize = 47;
+    const KD: usize = 96;
+    const N: usize = 4;
+    let a = Tensor::from_vec(
+        M,
+        KD,
+        (0..M * KD).map(|i| (i as f32 * 0.13).sin()).collect(),
+    );
+    let b = Tensor::from_vec(
+        KD,
+        N,
+        (0..KD * N).map(|i| (i as f32 * 0.41).cos()).collect(),
+    );
+    let mut want = Tensor::zeros(M, N);
+    a.matmul_accum_into_tiled(&b, &mut want);
+
+    kernels::set_matmul_threads(64);
+    kernels::set_matmul_grain(1);
+    kernels::set_kernel_mode(kernels::KernelMode::Fast);
+    for pool in [true, false] {
+        kernels::set_matmul_pool(pool);
+        kernels::inject_worker_panic(5, M);
+        let outcome = std::panic::catch_unwind(|| a.matmul(&b));
+        kernels::clear_worker_panic();
+        assert!(
+            outcome.is_err(),
+            "k-split shard panic must reach the caller (pool={pool})"
+        );
+        let payload = outcome.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("injected panic"),
+            "k-split panic payload must survive the handoff verbatim (pool={pool}): {msg:?}"
+        );
+        // Clean, ε-close values immediately afterwards (ε, not bits:
+        // fast mode reassociates the reduction by design).
+        let got = a.matmul(&b);
+        for (i, (&g, &w)) in got.data().iter().zip(want.data().iter()).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                "post-panic k-split value diverged (pool={pool}, idx={i}): {g} vs {w}"
+            );
+        }
+    }
+    kernels::set_matmul_pool(std::env::var("NVC_MATMUL_POOL").map_or(true, |v| v.trim() != "0"));
+    kernels::set_matmul_threads(kernels::default_matmul_threads());
+    kernels::set_matmul_grain(kernels::DEFAULT_MATMUL_GRAIN);
+    kernels::set_kernel_mode(kernels::default_kernel_mode());
 }
 
 #[test]

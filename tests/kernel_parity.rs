@@ -18,10 +18,14 @@ use rand_chacha::ChaCha8Rng;
 
 const THREAD_MATRIX: [usize; 4] = [1, 2, 3, 8];
 
-/// Forces real sharding regardless of shape size (idempotent; never
-/// restored inside this binary so concurrent tests can't undo it).
+/// Forces real sharding regardless of shape size and pins the strict
+/// kernel contract — this tier *is* the bitwise guarantee, so it must
+/// hold even when the binary runs under `NVC_KERNEL_MODE=fast`
+/// (idempotent; never restored inside this binary so concurrent tests
+/// can't undo it).
 fn force_sharding() {
     kernels::set_matmul_grain(1);
+    kernels::set_kernel_mode(kernels::KernelMode::Strict);
 }
 
 /// Bit patterns spanning every special f32 class (mirrors the
