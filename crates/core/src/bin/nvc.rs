@@ -37,9 +37,13 @@ const USAGE: &str = "usage:
   nvc serve [--model FILE] [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
             [--matmul-threads N] [--kernel-mode strict|fast] [--trace FILE]
   nvc hub --model NAME=FILE [--model NAME=FILE…] [--weight NAME=N…] [--listen ADDR]
-          [--cache-file PATH] [--transport event|threads] [--request-threads N]
+          [--cache-file PATH] [--cache-checkpoint-secs N] [--transport event|threads]
+          [--request-threads N] [--announce REGISTRY_ADDR] [--node NAME]
+          [--advertise ADDR] [--announce-ttl-ms N] [--peers ADDR[,ADDR…]]
           [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
           [--matmul-threads N] [--kernel-mode strict|fast] [--trace FILE]
+  nvc registry [--listen ADDR]
+  nvc resolve --registry ADDR [--model NAME]
 
 --matmul-threads shards the nvc-nn matmul kernels' output rows across N
 persistent pool workers (default: NVC_MATMUL_THREADS or 1); results are
@@ -55,7 +59,15 @@ single selector thread driving every connection nonblocking with
 connection, kept for parity testing.
 --trace FILE exports per-request spans as JSON lines (equivalent to
 NVC_TRACE=FILE); --journal FILE appends one JSON line of training
-telemetry per iteration. Tracing never changes decisions or weights.";
+telemetry per iteration. Tracing never changes decisions or weights.
+
+Fleet: `nvc registry` runs the discovery registry; `nvc hub --announce
+REGISTRY` heartbeats (model, checkpoint hash, address) there so `nvc
+resolve` and fleet clients find it; `--peers` pulls a warm cache image
+from a running peer before taking traffic; --cache-checkpoint-secs
+writes the decision cache every N seconds so a crash loses at most one
+interval. Hub and registry also shut down cleanly on stdin EOF
+(supervisor exit), persisting the cache like the shutdown verb.";
 
 /// Honors a parsed `--trace FILE` flag (the CLI spelling of
 /// `NVC_TRACE=FILE`).
@@ -76,6 +88,8 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("hub") => cmd_hub(&args[1..]),
+        Some("registry") => cmd_registry(&args[1..]),
+        Some("resolve") => cmd_resolve(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -272,15 +286,41 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Watches stdin for EOF — the supervisor-exit signal — and initiates a
+/// clean hub/registry shutdown (drain + cache persist) when it arrives.
+/// The thread is detached: it either triggers shutdown or blocks on a
+/// TTY until the process exits some other way.
+fn watch_stdin_eof(on_eof: impl FnOnce() + Send + 'static) {
+    let _ = std::thread::Builder::new()
+        .name("nvc-stdin-eof".to_string())
+        .spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {} // discard; the hub speaks TCP, not stdin
+                }
+            }
+            on_eof();
+        });
+}
+
 fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut flags = vec![
         Flag::repeated("--model"),
         Flag::repeated("--weight"),
         Flag::value("--listen"),
         Flag::value("--cache-file"),
+        Flag::value("--cache-checkpoint-secs"),
         Flag::value("--trace"),
         Flag::value("--transport"),
         Flag::value("--request-threads"),
+        Flag::value("--announce"),
+        Flag::value("--node"),
+        Flag::value("--advertise"),
+        Flag::value("--announce-ttl-ms"),
+        Flag::value("--peers"),
     ];
     flags.extend(SERVE_KNOBS);
     let p = parse_args(args, &flags, USAGE)?;
@@ -295,6 +335,9 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = p.get("--cache-file") {
         cfg.hub.cache_path = Some(path.to_string());
+    }
+    if let Some(n) = p.parse_value::<u64>("--cache-checkpoint-secs")? {
+        cfg.hub.cache_checkpoint_secs = n;
     }
     if let Some(t) = p.get("--transport") {
         cfg.hub.transport = neurovectorizer::HubTransport::parse(t)?;
@@ -322,7 +365,12 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let loader = NeuroVectorizer::hub_loader(cfg.clone());
-    let hub = Hub::new(cfg.hub.clone(), cfg.serve.clone()).with_loader(loader);
+    // Every hub runs the content-addressed shared store: it deduplicates
+    // decisions across A/B sides and reloads locally, and is what peer
+    // gossip transfers land in.
+    let hub = Hub::new(cfg.hub.clone(), cfg.serve.clone())
+        .with_loader(loader)
+        .with_shared_store(Arc::new(neurovectorizer::ContentStore::default()));
     for spec in models {
         let (name, path) = spec
             .split_once('=')
@@ -355,6 +403,20 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     hub.restore_cache()?;
 
+    // Warm-join gossip: pull a peer's cache image before taking traffic.
+    if let Some(peers) = p.get("--peers") {
+        let peers: Vec<String> = peers
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        match hub.warm_from_peers(&peers) {
+            Ok(n) => eprintln!("nvc hub: warm-joined with {n} cache entries from peers"),
+            Err(e) => eprintln!("nvc hub: warm-join failed (starting cold): {e}"),
+        }
+    }
+
     let handle = nvc_hub::server::serve_tcp(Arc::new(hub))?;
     eprintln!(
         "nvc hub: listening on {} ({} models, {} kernels{}); send {{\"op\":\"shutdown\"}} to stop",
@@ -366,12 +428,93 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             None => String::new(),
         }
     );
-    // Serve until some client sends the shutdown verb.
+
+    // Registry announcements: heartbeat (model, hash, addr) so fleet
+    // clients can resolve this node.
+    let announcer = p.get("--announce").map(|registry| {
+        let node = p
+            .get("--node")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("hub-{}", std::process::id()));
+        let advertise = p
+            .get("--advertise")
+            .map(str::to_string)
+            .unwrap_or_else(|| handle.addr().to_string());
+        let mut ann = neurovectorizer::AnnounceConfig::new(registry, &node, &advertise);
+        if let Ok(Some(ttl)) = p.parse_value::<u64>("--announce-ttl-ms") {
+            ann = ann.with_ttl_ms(ttl);
+        }
+        eprintln!("nvc hub: announcing as `{node}` ({advertise}) to {registry}");
+        neurovectorizer::spawn_announcer(Arc::clone(handle.hub()), ann)
+    });
+
+    // Supervisor exit (stdin EOF) shuts down as cleanly as the protocol
+    // verb: drain + cache persist, not a snapshot-losing kill.
+    {
+        let hub = Arc::clone(handle.hub());
+        watch_stdin_eof(move || hub.shutdown());
+    }
+
+    // Serve until some client sends the shutdown verb (or stdin EOF).
     while !handle.hub().is_shutting_down() {
         std::thread::sleep(std::time::Duration::from_millis(200));
     }
+    if let Some(a) = announcer {
+        a.stop();
+    }
     handle.shutdown();
     eprintln!("nvc hub: drained and persisted; bye");
+    Ok(())
+}
+
+fn cmd_registry(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    const FLAGS: &[Flag] = &[Flag::value("--listen"), Flag::value("--trace")];
+    let p = parse_args(args, FLAGS, USAGE)?;
+    no_positionals(&p, "registry")?;
+    apply_trace_flag(&p);
+    let listen = p.get("--listen").unwrap_or("127.0.0.1:7209");
+    let service = Arc::new(neurovectorizer::RegistryService::default());
+    let handle = neurovectorizer::serve_registry(Arc::clone(&service), listen)?;
+    eprintln!(
+        "nvc registry: listening on {}; hubs announce with --announce, clients resolve with `nvc resolve`",
+        handle.addr()
+    );
+    {
+        let service = Arc::clone(&service);
+        watch_stdin_eof(move || service.shutdown());
+    }
+    while !service.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    handle.shutdown();
+    eprintln!("nvc registry: bye");
+    Ok(())
+}
+
+fn cmd_resolve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    const FLAGS: &[Flag] = &[Flag::value("--registry"), Flag::value("--model")];
+    let p = parse_args(args, FLAGS, USAGE)?;
+    no_positionals(&p, "resolve")?;
+    let registry = p
+        .get("--registry")
+        .ok_or("resolve requires --registry ADDR")?;
+    let client = neurovectorizer::RegistryClient::new(registry);
+    let nodes = client
+        .resolve(p.get("--model"))
+        .map_err(|e| format!("resolve against {registry} failed: {e}"))?;
+    if nodes.is_empty() {
+        println!("no live nodes");
+        return Ok(());
+    }
+    for n in &nodes {
+        println!("{} {} (heard {}ms ago)", n.node, n.addr, n.age_ms);
+        for m in &n.models {
+            println!(
+                "  {} checkpoint {:016x} weight {}",
+                m.model, m.checkpoint_hash, m.weight
+            );
+        }
+    }
     Ok(())
 }
 

@@ -66,5 +66,11 @@ pub mod cli;
 pub use compiler::{CompileError, Compiler, LoopDecision, ProgramTiming, CALL_OVERHEAD_CYCLES};
 pub use env::{LoopContext, VectorizeEnv, TIMEOUT_PENALTY};
 pub use framework::{NeuroVectorizer, NvConfig};
-pub use nvc_hub::{Hub, HubConfig, HubHandle, HubTransport, ModelSpec};
+pub use nvc_fleet::{
+    serve_registry, ContentStore, FleetClient, FleetConfig, FleetResponse, RegistryClient,
+    RegistryService,
+};
+pub use nvc_hub::{
+    spawn_announcer, AnnounceConfig, Hub, HubConfig, HubHandle, HubTransport, ModelSpec,
+};
 pub use nvc_serve::{run_daemon, ServeConfig, ServeHandle};

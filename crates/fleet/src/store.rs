@@ -1,0 +1,246 @@
+//! The content-addressed shared decision store.
+//!
+//! One [`ContentStore`] sits behind *every* model handle of a hub (and,
+//! through gossip transfer, receives entries computed on peer nodes).
+//! Keys are [`nvc_nn::serialize::content_address`]`(checkpoint_hash,
+//! sample_key)` — a decision is a pure function of both, so:
+//!
+//! * the A/B sides of a split serving the **same** checkpoint share
+//!   every decision instead of computing it twice;
+//! * a hot-swap `reload` back to an already-seen checkpoint finds its
+//!   old decisions still addressed and valid;
+//! * entries pulled from a peer are valid verbatim — the address says
+//!   exactly which checkpoint computed them;
+//! * two **different** checkpoints can never exchange an entry, because
+//!   they never share an address.
+//!
+//! Capacity is bounded per shard with FIFO eviction (the per-model LRU
+//! in front already gives recency; this level optimizes for breadth).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nvc_nn::serialize::content_address;
+use nvc_obs::{Counter, MetricsRegistry};
+use nvc_serve::SharedDecisionStore;
+
+struct Shard {
+    map: HashMap<u128, (usize, usize)>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u128>,
+}
+
+/// Sharded map from content address to decision. See the module docs.
+pub struct ContentStore {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    obs: Arc<MetricsRegistry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    publishes: Arc<Counter>,
+    evictions: Arc<Counter>,
+    transfers_in: Arc<Counter>,
+}
+
+/// Point-in-time counters of a [`ContentStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentStoreStats {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Probes answered.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Locally computed decisions published.
+    pub publishes: u64,
+    /// Entries evicted at capacity.
+    pub evictions: u64,
+    /// Entries absorbed from peer transfers.
+    pub transfers_in: u64,
+}
+
+impl Default for ContentStore {
+    /// A store sized for a serving node (256 Ki entries, 16 shards).
+    fn default() -> Self {
+        ContentStore::new(262_144, 16)
+    }
+}
+
+impl ContentStore {
+    /// A store holding up to `capacity` entries across `shards` shards
+    /// (both clamped to ≥ 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = (capacity.max(1)).div_ceil(shards);
+        let obs = Arc::new(MetricsRegistry::default());
+        ContentStore {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            shard_capacity,
+            hits: obs.counter("store_hits_total"),
+            misses: obs.counter("store_misses_total"),
+            publishes: obs.counter("store_publishes_total"),
+            evictions: obs.counter("store_evictions_total"),
+            transfers_in: obs.counter("store_transfers_in_total"),
+            obs,
+        }
+    }
+
+    fn shard(&self, addr: u128) -> &Mutex<Shard> {
+        // The address's low bits are the FNV sample key — well mixed.
+        &self.shards[(addr as u64 as usize) % self.shards.len()]
+    }
+
+    fn insert(&self, addr: u128, pair: (usize, usize)) {
+        let mut shard = self.shard(addr).lock();
+        if shard.map.insert(addr, pair).is_none() {
+            shard.order.push_back(addr);
+            while shard.map.len() > self.shard_capacity {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                    self.evictions.inc();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Absorbs entries computed under `checkpoint_hash` elsewhere (a
+    /// peer's cache export). Counted separately from local publishes.
+    /// Returns how many entries were absorbed.
+    pub fn absorb(
+        &self,
+        checkpoint_hash: u64,
+        entries: impl IntoIterator<Item = (u64, (usize, usize))>,
+    ) -> usize {
+        let mut n = 0;
+        for (key, pair) in entries {
+            self.insert(content_address(checkpoint_hash, key), pair);
+            n += 1;
+        }
+        self.transfers_in.add(n as u64);
+        n
+    }
+
+    /// Every entry stored under `checkpoint_hash`, as `(sample_key,
+    /// decision)` pairs — what a hub exports to a joining peer.
+    pub fn entries_for(&self, checkpoint_hash: u64) -> Vec<(u64, (usize, usize))> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&addr, &pair) in shard.map.iter() {
+                if (addr >> 64) as u64 == checkpoint_hash {
+                    out.push((addr as u64, pair));
+                }
+            }
+        }
+        out
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ContentStoreStats {
+        ContentStoreStats {
+            entries: self.len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            publishes: self.publishes.get(),
+            evictions: self.evictions.get(),
+            transfers_in: self.transfers_in.get(),
+        }
+    }
+
+    /// The store's instruments, for embedding in a larger exposition.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+}
+
+impl SharedDecisionStore for ContentStore {
+    fn get(&self, checkpoint_hash: u64, sample_key: u64) -> Option<(usize, usize)> {
+        let addr = content_address(checkpoint_hash, sample_key);
+        let hit = self.shard(addr).lock().map.get(&addr).copied();
+        match hit {
+            Some(pair) => {
+                self.hits.inc();
+                Some(pair)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    fn put(&self, checkpoint_hash: u64, sample_key: u64, decision: (usize, usize)) {
+        self.insert(content_address(checkpoint_hash, sample_key), decision);
+        self.publishes.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_respects_checkpoint_boundaries() {
+        let store = ContentStore::new(1024, 4);
+        store.put(0xA, 1, (2, 3));
+        assert_eq!(store.get(0xA, 1), Some((2, 3)));
+        assert_eq!(store.get(0xB, 1), None, "other checkpoint must miss");
+        assert_eq!(store.get(0xA, 2), None);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.publishes), (1, 2, 1));
+    }
+
+    #[test]
+    fn absorb_and_export_roundtrip() {
+        let store = ContentStore::new(1024, 4);
+        let entries = vec![(10u64, (1, 1)), (20, (2, 0)), (30, (0, 2))];
+        assert_eq!(store.absorb(0xFEED, entries.clone()), 3);
+        store.put(0xBEEF, 99, (3, 3)); // different checkpoint
+        let mut exported = store.entries_for(0xFEED);
+        exported.sort_by_key(|e| e.0);
+        assert_eq!(exported, entries);
+        assert_eq!(store.entries_for(0xBEEF), vec![(99, (3, 3))]);
+        assert_eq!(store.stats().transfers_in, 3);
+        // Absorbed entries serve through the trait.
+        assert_eq!(store.get(0xFEED, 20), Some((2, 0)));
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_fifo_eviction() {
+        let store = ContentStore::new(8, 1);
+        for key in 0..20u64 {
+            store.put(1, key, (key as usize, 0));
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.stats().evictions, 12);
+        assert_eq!(store.get(1, 0), None, "oldest entries evicted");
+        assert_eq!(store.get(1, 19), Some((19, 0)), "newest survive");
+        // Re-publishing an existing key must not duplicate its order
+        // slot (which would corrupt eviction accounting).
+        for _ in 0..100 {
+            store.put(1, 19, (19, 0));
+        }
+        assert_eq!(store.len(), 8);
+    }
+}

@@ -31,9 +31,23 @@
 //! → {"op":"metrics"}                   ← {"ok":true,"stats":{…,"models":{…}}}
 //! → {"op":"reload","model":"prod","checkpoint":"new.ckpt"}
 //! ← {"ok":true,"reloaded":"prod","checkpoint_hash":"…"}
+//! → {"op":"cache_export"}              ← every model's cache image (gossip)
 //! → {"op":"shutdown"}                  ← ack, then the hub drains and persists
 //! ```
+//!
+//! # Fleet integration
+//!
+//! A hub becomes a fleet node through three optional attachments:
+//! a **shared decision store** ([`Hub::with_shared_store`]) layered
+//! behind every model's LRU, a **registry announcer**
+//! ([`announce::spawn_announcer`]) heartbeating `(model,
+//! checkpoint_hash, addr)` to an `nvc registry`, and **warm-join
+//! gossip** ([`Hub::warm_from_peers`]) that pulls a peer's cache image
+//! over the `cache_export` verb before taking traffic. Every
+//! `vectorize` response is stamped with the serving checkpoint's
+//! content hash so fleet clients can verify versions end-to-end.
 
+pub mod announce;
 mod event;
 pub mod persist;
 pub mod registry;
@@ -49,6 +63,7 @@ use nvc_obs::{Counter, Gauge, MetricsRegistry};
 use nvc_serve::json::obj;
 use nvc_serve::{DecisionModel, Json, LoopReport, ServeConfig};
 
+pub use announce::{spawn_announcer, AnnounceConfig, Announcer};
 pub use persist::CacheSection;
 pub use registry::{ModelEntry, ModelRegistry, ModelSpec};
 pub use server::HubHandle;
@@ -105,6 +120,11 @@ pub struct HubConfig {
     /// from it until the peer drains below half — a slow reader
     /// throttles only itself.
     pub max_output_buffer: usize,
+    /// Background cache-checkpoint interval in seconds (0 disables).
+    /// With persistence configured, the cache image is rewritten every
+    /// interval so a crash loses at most one interval of decisions
+    /// instead of everything since startup.
+    pub cache_checkpoint_secs: u64,
 }
 
 impl Default for HubConfig {
@@ -117,6 +137,7 @@ impl Default for HubConfig {
             transport: HubTransport::Event,
             request_threads: 4,
             max_output_buffer: 256 * 1024,
+            cache_checkpoint_secs: 0,
         }
     }
 }
@@ -149,6 +170,12 @@ impl HubConfig {
     /// Builder-style output-buffer-bound override (event transport).
     pub fn with_max_output_buffer(mut self, bytes: usize) -> Self {
         self.max_output_buffer = bytes;
+        self
+    }
+
+    /// Builder-style cache-checkpoint-interval override.
+    pub fn with_cache_checkpoint_secs(mut self, secs: u64) -> Self {
+        self.cache_checkpoint_secs = secs;
         self
     }
 }
@@ -217,6 +244,18 @@ pub struct Hub {
     pub(crate) connections: Arc<Counter>,
     /// Connections currently open (maintained by the TCP layer).
     pub(crate) active_connections: Arc<Gauge>,
+    /// Background cache checkpoints written (the periodic persister).
+    pub(crate) cache_checkpoints: Arc<Counter>,
+    /// Successful warm-join transfers pulled from peers.
+    transfers: Arc<Counter>,
+    /// Cache entries absorbed across all warm-join transfers.
+    transfer_entries: Arc<Counter>,
+    /// The fleet's content-addressed shared store, when attached.
+    shared: Option<Arc<nvc_fleet::ContentStore>>,
+    /// Serializes snapshot writes: the periodic checkpointer, `reload`'s
+    /// pre-swap persist, and shutdown's final persist all target the
+    /// same temp path.
+    persist_lock: parking_lot::Mutex<()>,
     /// Set once shutdown begins; the TCP layer polls it.
     shutting_down: AtomicBool,
     /// Guards the persist-and-drain sequence (runs exactly once).
@@ -236,6 +275,11 @@ impl Hub {
             requests: obs.counter("hub_requests_total"),
             connections: obs.counter("hub_connections_total"),
             active_connections: obs.gauge("hub_active_connections"),
+            cache_checkpoints: obs.counter("hub_cache_checkpoints_total"),
+            transfers: obs.counter("hub_transfers_total"),
+            transfer_entries: obs.counter("hub_transfer_entries_total"),
+            shared: None,
+            persist_lock: parking_lot::Mutex::new(()),
             obs,
             shutting_down: AtomicBool::new(false),
             drained: AtomicBool::new(false),
@@ -246,6 +290,22 @@ impl Hub {
     pub fn with_loader(mut self, loader: CheckpointLoader) -> Self {
         self.loader = Some(loader);
         self
+    }
+
+    /// Attaches the fleet's content-addressed shared decision store.
+    /// Every model registered *afterwards* probes it on LRU miss and
+    /// publishes every computed decision to it; warm-join transfers
+    /// absorb peer entries into it. Attach before registering models.
+    pub fn with_shared_store(mut self, store: Arc<nvc_fleet::ContentStore>) -> Self {
+        self.registry
+            .set_shared_store(Arc::clone(&store) as Arc<dyn nvc_serve::SharedDecisionStore>);
+        self.shared = Some(store);
+        self
+    }
+
+    /// The attached shared decision store, if any.
+    pub fn shared_store(&self) -> Option<&Arc<nvc_fleet::ContentStore>> {
+        self.shared.as_ref()
     }
 
     /// The hub's configuration.
@@ -319,6 +379,9 @@ impl Hub {
         let Some(path) = self.cfg.cache_path.as_deref() else {
             return Ok(());
         };
+        // The periodic checkpointer, reload's pre-swap persist, and the
+        // shutdown persist share one temp path; serialize them.
+        let _persisting = self.persist_lock.lock();
         let sections: Vec<CacheSection> = self
             .registry
             .entries()
@@ -349,6 +412,15 @@ impl Hub {
             eprintln!("nvc hub: cache persistence failed: {e}");
         }
         nvc_obs::flush_trace();
+    }
+
+    /// Crash simulation for resilience tests: flags shutdown so every
+    /// loop exits, but *skips* the final cache persist — whatever the
+    /// periodic checkpointer last wrote is all that survives, exactly
+    /// like a process kill. Worker pools still drain on drop.
+    pub fn abort(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.drained.store(true, Ordering::Release);
     }
 
     /// Routing key for a request: the explicit `"route"` field when
@@ -404,6 +476,29 @@ impl Hub {
             (
                 "active_connections",
                 Json::from(self.active_connections.get().max(0) as u64),
+            ),
+            (
+                "cache_checkpoints",
+                Json::from(self.cache_checkpoints.get()),
+            ),
+            ("transfers", Json::from(self.transfers.get())),
+            ("transfer_entries", Json::from(self.transfer_entries.get())),
+            (
+                "shared_store",
+                match &self.shared {
+                    Some(store) => {
+                        let s = store.stats();
+                        obj(vec![
+                            ("entries", Json::from(s.entries as u64)),
+                            ("hits", Json::from(s.hits)),
+                            ("misses", Json::from(s.misses)),
+                            ("publishes", Json::from(s.publishes)),
+                            ("evictions", Json::from(s.evictions)),
+                            ("transfers_in", Json::from(s.transfers_in)),
+                        ])
+                    }
+                    None => Json::Null,
+                },
             ),
             ("models", Json::Obj(models)),
         ])
@@ -486,6 +581,62 @@ impl Hub {
                     false,
                 )
             }
+            Some("cache_export") => {
+                // Gossip transfer: ship every model's cache image (plus
+                // the shared store's per-checkpoint entries) so a
+                // joining peer starts warm. Content-addressed by
+                // checkpoint hash, so the receiver can verify validity
+                // per section.
+                let sections: Vec<Json> = self
+                    .registry
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        let mut entries = e.handle.cache_snapshot();
+                        if let Some(store) = &self.shared {
+                            // The shared store may hold entries the LRU
+                            // evicted (or absorbed from elsewhere);
+                            // export the union, deduplicated by key.
+                            let mut seen: std::collections::HashSet<u64> =
+                                entries.iter().map(|(k, _)| *k).collect();
+                            for (k, pair) in store.entries_for(e.checkpoint_hash) {
+                                if seen.insert(k) {
+                                    entries.push((k, pair));
+                                }
+                            }
+                        }
+                        obj(vec![
+                            ("model", Json::from(e.name.as_str())),
+                            (
+                                "checkpoint_hash",
+                                Json::from(format!("{:016x}", e.checkpoint_hash)),
+                            ),
+                            (
+                                "entries",
+                                Json::Arr(
+                                    entries
+                                        .iter()
+                                        .map(|(k, (vf, ifac))| {
+                                            Json::Arr(vec![
+                                                Json::from(format!("{k:016x}")),
+                                                Json::from(*vf as u64),
+                                                Json::from(*ifac as u64),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                (
+                    with_id(
+                        id,
+                        vec![("ok", Json::from(true)), ("sections", Json::Arr(sections))],
+                    ),
+                    true,
+                )
+            }
             Some("reload") => {
                 let Some(name) = v.get("model").and_then(Json::as_str) else {
                     return fail(id, "reload requires a `model` field".into());
@@ -541,6 +692,14 @@ impl Hub {
                             vec![
                                 ("ok", Json::from(true)),
                                 ("model", Json::from(entry.name.as_str())),
+                                // Version stamp: fleet clients verify
+                                // this against the registry's ad, which
+                                // is what makes wrong-version decisions
+                                // impossible to accept.
+                                (
+                                    "checkpoint_hash",
+                                    Json::from(format!("{:016x}", entry.checkpoint_hash)),
+                                ),
                                 ("source", Json::from(out.source)),
                                 (
                                     "loops",
@@ -573,16 +732,129 @@ impl Hub {
             .get(name)
             .ok_or_else(|| HubError::UnknownModel(name.to_string()))?;
         let (model, hash) = loader(path).map_err(HubError::Loader)?;
+        // Snapshot *before* the swap: the outgoing model's decisions are
+        // about to leave the registry, and "persist only on clean
+        // shutdown" would lose them entirely if the process dies while
+        // the new checkpoint serves. Best-effort — a full disk must not
+        // block the reload itself.
+        if let Err(e) = self.persist_cache() {
+            eprintln!("nvc hub: pre-reload cache persistence failed: {e}");
+        }
         let displaced = self.registry.reload(ModelSpec {
             name: name.to_string(),
             weight: weight.unwrap_or(old.weight),
             checkpoint_hash: hash,
             model,
         })?;
-        // Drain the displaced pool in the background once callers drop
-        // their Arcs; draining here would block on in-flight requests.
-        drop(displaced);
+        // Warm the fresh checkpoint in the background: replay the keys
+        // the displaced handle saw as shadow traffic, so the first real
+        // requests hit a heated cache instead of a cold model. The
+        // replay thread owns the displaced Arc; its pool drains when the
+        // replay (and any in-flight requests) finish with it.
+        if let Some(new_entry) = self.registry.get(name) {
+            let samples = displaced.handle.warm_samples();
+            if !samples.is_empty() {
+                let spawned = std::thread::Builder::new()
+                    .name("nvc-hub-warmup".to_string())
+                    .spawn(move || {
+                        let _displaced = displaced;
+                        new_entry.handle.warm_replay(&samples);
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("nvc hub: warmup thread failed to start: {e}");
+                }
+            }
+        }
         Ok(hash)
+    }
+
+    /// Warm-join gossip: pulls `cache_export` from the first reachable
+    /// peer and absorbs it — sections whose checkpoint hash matches a
+    /// registered model seed that model's LRU, and *every* section
+    /// lands in the shared store (content addressing makes entries from
+    /// any checkpoint safe to hold). Returns how many entries were
+    /// absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Io`] when no peer could be reached or answered a
+    /// usable export.
+    pub fn warm_from_peers(&self, peers: &[String]) -> Result<usize, HubError> {
+        use std::io::{BufRead, BufReader, Write};
+        let mut last_err = String::from("no peers given");
+        for peer in peers {
+            let attempt = (|| -> Result<usize, String> {
+                let mut stream =
+                    std::net::TcpStream::connect(peer.as_str()).map_err(|e| e.to_string())?;
+                let _ = stream.set_nodelay(true);
+                stream
+                    .write_all(b"{\"op\":\"cache_export\"}\n")
+                    .and_then(|()| stream.flush())
+                    .map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader.read_line(&mut line).map_err(|e| e.to_string())?;
+                let v = Json::parse(line.trim()).map_err(|e| format!("bad export: {e}"))?;
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err("peer rejected cache_export".to_string());
+                }
+                let mut absorbed = 0usize;
+                for section in v.get("sections").and_then(Json::as_array).unwrap_or(&[]) {
+                    let Some(hash) = section
+                        .get("checkpoint_hash")
+                        .and_then(Json::as_str)
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    else {
+                        continue;
+                    };
+                    let mut entries: Vec<(u64, (usize, usize))> = Vec::new();
+                    for e in section
+                        .get("entries")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                    {
+                        let Some(items) = e.as_array() else { continue };
+                        let (Some(key), Some(vf), Some(ifac)) = (
+                            items
+                                .first()
+                                .and_then(Json::as_str)
+                                .and_then(|s| u64::from_str_radix(s, 16).ok()),
+                            items.get(1).and_then(Json::as_f64),
+                            items.get(2).and_then(Json::as_f64),
+                        ) else {
+                            continue;
+                        };
+                        entries.push((key, (vf as usize, ifac as usize)));
+                    }
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    // Hash-matching model: seed its private LRU directly.
+                    let model = section.get("model").and_then(Json::as_str).unwrap_or("");
+                    let mut taken = 0usize;
+                    if let Some(entry) = self.registry.get(model) {
+                        if entry.checkpoint_hash == hash {
+                            taken = entry.handle.restore_cache(entries.iter().copied());
+                        }
+                    }
+                    // Shared store: always valid under content addressing.
+                    if let Some(store) = &self.shared {
+                        taken = taken.max(store.absorb(hash, entries.iter().copied()));
+                    }
+                    absorbed += taken;
+                }
+                Ok(absorbed)
+            })();
+            match attempt {
+                Ok(n) => {
+                    self.transfers.inc();
+                    self.transfer_entries.add(n as u64);
+                    return Ok(n);
+                }
+                Err(e) => last_err = format!("{peer}: {e}"),
+            }
+        }
+        Err(HubError::Io(format!("warm-join failed: {last_err}")))
     }
 }
 
@@ -890,5 +1162,128 @@ void f(int n) {
         let hub = Hub::new(cfg, ServeConfig::default().with_workers(1));
         hub.register(stub_spec("m", 1, 0)).unwrap();
         assert!(hub.restore_cache().is_ok());
+    }
+
+    fn cached_flags(v: &Json) -> Vec<bool> {
+        v.get("loops")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|l| l.get("cached").unwrap().as_bool().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn shared_store_spans_ab_sides_of_one_checkpoint() {
+        // Two registry entries serving the *same* checkpoint (an A/B
+        // split over one model, e.g. to compare serve configs) share
+        // every decision through the content store; a third entry on a
+        // different checkpoint shares nothing.
+        let store = Arc::new(nvc_fleet::ContentStore::default());
+        let hub = Hub::new(HubConfig::default(), ServeConfig::default().with_workers(1))
+            .with_shared_store(Arc::clone(&store));
+        hub.register(stub_spec("a", 1, 5)).unwrap();
+        hub.register(stub_spec("b", 1, 5)).unwrap(); // same hash as a
+        hub.register(stub_spec("c", 1, 9)).unwrap(); // different hash
+        let req = |model: &str| {
+            obj(vec![
+                ("source", Json::from(SRC)),
+                ("model", Json::from(model)),
+            ])
+            .render()
+        };
+        let first = Json::parse(&hub.handle_line(&req("a")).0).unwrap();
+        assert_eq!(cached_flags(&first), vec![false]);
+        assert_eq!(
+            first.get("checkpoint_hash").unwrap().as_str(),
+            Some("0000000000000005"),
+            "vectorize responses carry the version stamp"
+        );
+
+        // Same checkpoint, different entry: served from the shared
+        // store without touching b's model, bitwise-equal output.
+        let via_b = Json::parse(&hub.handle_line(&req("b")).0).unwrap();
+        assert_eq!(cached_flags(&via_b), vec![true]);
+        assert_eq!(
+            via_b.get("source").unwrap().as_str(),
+            first.get("source").unwrap().as_str()
+        );
+
+        // Different checkpoint: must compute its own decision.
+        let via_c = Json::parse(&hub.handle_line(&req("c")).0).unwrap();
+        assert_eq!(cached_flags(&via_c), vec![false]);
+        assert!(store.stats().hits > 0);
+    }
+
+    #[test]
+    fn reload_persists_the_outgoing_cache_and_warms_the_incoming_model() {
+        let dir = std::env::temp_dir().join(format!("nvc-hub-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.nvc").to_string_lossy().to_string();
+        let hub = Hub::new(
+            HubConfig::default().with_cache_path(path.clone()),
+            ServeConfig::default().with_workers(1),
+        )
+        .with_loader(Box::new(|path| {
+            let tag: usize = path.parse().map_err(|_| format!("bad path {path}"))?;
+            Ok((
+                Arc::new(StubModel::new(tag)) as Arc<dyn DecisionModel>,
+                tag as u64,
+            ))
+        }));
+        hub.register(stub_spec("m", 1, 0)).unwrap();
+        let vec_req = obj(vec![("source", Json::from(SRC))]).render();
+        hub.handle_line(&vec_req);
+
+        let (resp, _) = hub.handle_line(r#"{"op":"reload","model":"m","checkpoint":"3"}"#);
+        assert_eq!(
+            Json::parse(&resp).unwrap().get("ok").unwrap().as_bool(),
+            Some(true),
+            "{resp}"
+        );
+
+        // Satellite: the snapshot on disk was written *before* the swap
+        // — it still carries the displaced checkpoint's section, with
+        // entries, even though no shutdown has happened.
+        let text = std::fs::read_to_string(&path).expect("pre-reload snapshot must exist");
+        let sections = persist::parse(&text).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].checkpoint_hash, 0, "old checkpoint persisted");
+        assert!(!sections[0].entries.is_empty());
+
+        // Satellite: the displaced handle's warm keys replay against
+        // the new checkpoint in the background.
+        let entry = hub.registry().get("m").unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while entry.handle.metrics().warmup_replayed == 0 {
+            assert!(Instant::now() < deadline, "warmup never replayed");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // The replayed key now serves as a hit under the *new* model.
+        let after = Json::parse(&hub.handle_line(&vec_req).0).unwrap();
+        assert_eq!(cached_flags(&after), vec![true]);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abort_skips_the_final_persist() {
+        let dir = std::env::temp_dir().join(format!("nvc-hub-abort-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.nvc").to_string_lossy().to_string();
+        let hub = Hub::new(
+            HubConfig::default().with_cache_path(path.clone()),
+            ServeConfig::default().with_workers(1),
+        );
+        hub.register(stub_spec("m", 1, 0)).unwrap();
+        hub.handle_line(&obj(vec![("source", Json::from(SRC))]).render());
+        hub.abort();
+        drop(hub); // Drop::shutdown must respect the abort
+        assert!(
+            !std::path::Path::new(&path).exists(),
+            "abort must not persist the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use nvc_serve::{DecisionModel, ServeConfig, ServeHandle};
+use nvc_serve::{DecisionModel, ServeConfig, ServeHandle, SharedDecisionStore};
 
 use crate::HubError;
 
@@ -63,6 +63,9 @@ pub struct ModelEntry {
 pub struct ModelRegistry {
     entries: RwLock<Vec<Arc<ModelEntry>>>,
     serve_cfg: ServeConfig,
+    /// Second-level decision store every started handle publishes to,
+    /// content-addressed by checkpoint hash (see `nvc_fleet::store`).
+    store: RwLock<Option<Arc<dyn SharedDecisionStore>>>,
 }
 
 impl ModelRegistry {
@@ -72,7 +75,14 @@ impl ModelRegistry {
         ModelRegistry {
             entries: RwLock::new(Vec::new()),
             serve_cfg,
+            store: RwLock::new(None),
         }
+    }
+
+    /// Attaches the shared decision store. Only entries started *after*
+    /// this call publish to it — attach before registering models.
+    pub fn set_shared_store(&self, store: Arc<dyn SharedDecisionStore>) {
+        *self.store.write() = Some(store);
     }
 
     fn start_entry(&self, spec: ModelSpec) -> Result<Arc<ModelEntry>, HubError> {
@@ -82,8 +92,13 @@ impl ModelRegistry {
         if spec.name.is_empty() || spec.name.chars().any(char::is_whitespace) {
             return Err(HubError::BadModelName(spec.name));
         }
+        let shared = self
+            .store
+            .read()
+            .as_ref()
+            .map(|s| (spec.checkpoint_hash, Arc::clone(s)));
         Ok(Arc::new(ModelEntry {
-            handle: ServeHandle::start(spec.model, self.serve_cfg.clone()),
+            handle: ServeHandle::start_with_store(spec.model, self.serve_cfg.clone(), shared),
             name: spec.name,
             checkpoint_hash: spec.checkpoint_hash,
             weight: spec.weight,

@@ -41,6 +41,47 @@ pub struct HubHandle {
     hub: Arc<Hub>,
     addr: SocketAddr,
     transport: Transport,
+    /// The periodic cache checkpointer (crash-loss bound), when
+    /// `cache_checkpoint_secs` and a cache path are both configured.
+    checkpointer: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Spawns the background cache checkpointer when configured: every
+/// `cache_checkpoint_secs` the full cache image is rewritten through
+/// the same temp-file + rename path the shutdown persist uses, so a
+/// crash (or [`HubHandle::abort`]) loses at most one interval of
+/// decisions.
+fn spawn_checkpointer(hub: &Arc<Hub>) -> Option<JoinHandle<()>> {
+    let interval_secs = hub.config().cache_checkpoint_secs;
+    if interval_secs == 0 || hub.config().cache_path.is_none() {
+        return None;
+    }
+    let hub = Arc::clone(hub);
+    let interval = Duration::from_secs(interval_secs);
+    Some(
+        std::thread::Builder::new()
+            .name("nvc-hub-checkpoint".to_string())
+            .spawn(move || loop {
+                // Sleep in short steps so shutdown is noticed promptly.
+                let mut remaining = interval;
+                while !remaining.is_zero() {
+                    if hub.is_shutting_down() {
+                        return;
+                    }
+                    let step = remaining.min(Duration::from_millis(100));
+                    std::thread::sleep(step);
+                    remaining = remaining.saturating_sub(step);
+                }
+                if hub.is_shutting_down() {
+                    return;
+                }
+                match hub.persist_cache() {
+                    Ok(()) => hub.cache_checkpoints.inc(),
+                    Err(e) => eprintln!("nvc hub: cache checkpoint failed (will retry): {e}"),
+                }
+            })
+            .expect("spawn hub checkpoint thread"),
+    )
 }
 
 /// Binds `hub.config().listen` and starts serving.
@@ -62,12 +103,14 @@ pub fn serve_tcp(hub: Arc<Hub>) -> std::io::Result<HubHandle> {
 /// or switch to nonblocking mode.
 pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHandle> {
     let addr = listener.local_addr()?;
+    let checkpointer = Mutex::new(spawn_checkpointer(&hub));
     if matches!(hub.config().transport, HubTransport::Event) {
         let driver = crate::event::serve(Arc::clone(&hub), listener)?;
         return Ok(HubHandle {
             hub,
             addr,
             transport: Transport::Event(driver),
+            checkpointer,
         });
     }
     // Thread-per-connection fallback. Nonblocking accept + poll: the
@@ -122,6 +165,7 @@ pub fn serve_on(hub: Arc<Hub>, listener: TcpListener) -> std::io::Result<HubHand
             accept: Mutex::new(Some(accept)),
             conns,
         },
+        checkpointer,
     })
 }
 
@@ -217,6 +261,22 @@ impl HubHandle {
     /// every transport thread. Idempotent.
     pub fn shutdown(&self) {
         self.hub.shutdown();
+        self.join_threads();
+    }
+
+    /// Crash simulation ([`Hub::abort`] plus thread teardown): every
+    /// loop exits but the final cache persist is *skipped* — only what
+    /// the periodic checkpointer already wrote survives, exactly like a
+    /// process kill. Resilience tests use this to measure crash loss.
+    pub fn abort(&self) {
+        self.hub.abort();
+        self.join_threads();
+    }
+
+    fn join_threads(&self) {
+        if let Some(ckpt) = self.checkpointer.lock().take() {
+            let _ = ckpt.join();
+        }
         match &self.transport {
             Transport::Threads { accept, conns } => {
                 if let Some(accept) = accept.lock().take() {
@@ -428,6 +488,113 @@ mod tests {
             Some(true),
             "conn B's split ping must reassemble: {lb}"
         );
+    }
+
+    /// Gossip transfer: a joining hub pulls a warm peer's cache image
+    /// and serves the same sources as hits with bitwise-equal output.
+    #[test]
+    fn warm_from_peers_transfers_the_cache() {
+        let warm = start(&[("m", 1, 7)]);
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        let first = roundtrip(warm.addr(), &req);
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+
+        // The export verb itself carries the section.
+        let export = roundtrip(warm.addr(), r#"{"op":"cache_export"}"#);
+        let sections = export.get("sections").unwrap().as_array().unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(
+            sections[0].get("checkpoint_hash").unwrap().as_str(),
+            Some("0000000000000007")
+        );
+        assert!(!sections[0]
+            .get("entries")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        // A joining node with the same checkpoint absorbs it…
+        let store = Arc::new(nvc_fleet::ContentStore::default());
+        let joiner = Hub::new(
+            HubConfig::default().with_listen("127.0.0.1:0"),
+            ServeConfig::default().with_workers(1),
+        )
+        .with_shared_store(Arc::clone(&store));
+        joiner.register(stub_spec("m", 1, 7)).unwrap();
+        let n = joiner
+            .warm_from_peers(&["127.0.0.1:1".to_string(), warm.addr().to_string()])
+            .expect("dead first peer must fail over to the live one");
+        assert!(n > 0, "transfer must absorb entries");
+        assert!(store.len() > 0, "shared store holds the transfer");
+
+        // …and serves the transferred decision as a hit, bitwise-equal.
+        let (resp, _) = joiner.handle_line(&req);
+        let v = Json::parse(&resp).unwrap();
+        let loops = v.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(loops[0].get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("source").unwrap().as_str(),
+            first.get("source").unwrap().as_str(),
+            "gossip-transferred decisions must be bitwise-equal"
+        );
+
+        // A hash-mismatched joiner keeps entries only in the shared
+        // store (content-addressed), never in the model's own LRU.
+        let mismatched = Hub::new(
+            HubConfig::default().with_listen("127.0.0.1:0"),
+            ServeConfig::default().with_workers(1),
+        );
+        mismatched.register(stub_spec("m", 1, 8)).unwrap();
+        mismatched.warm_from_peers(&[warm.addr().to_string()]).ok();
+        let (resp, _) = mismatched.handle_line(&req);
+        let v = Json::parse(&resp).unwrap();
+        let loops = v.get("loops").unwrap().as_array().unwrap();
+        assert_eq!(
+            loops[0].get("cached").unwrap().as_bool(),
+            Some(false),
+            "wrong-version entries must never serve from the LRU"
+        );
+    }
+
+    /// The periodic checkpointer bounds crash loss: after an abort (no
+    /// final persist) the snapshot written mid-run is all that
+    /// survives — and it is present.
+    #[test]
+    fn periodic_checkpoint_bounds_crash_loss() {
+        let dir = std::env::temp_dir().join(format!("nvc-hub-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.nvc").to_string_lossy().to_string();
+        let cfg = HubConfig::default()
+            .with_listen("127.0.0.1:0")
+            .with_cache_path(path.clone())
+            .with_cache_checkpoint_secs(1);
+        let hub = Hub::new(cfg, ServeConfig::default().with_workers(1));
+        hub.register(stub_spec("m", 1, 0)).unwrap();
+        let handle = serve_tcp(Arc::new(hub)).unwrap();
+        let req = nvc_serve::json::obj(vec![("source", Json::from(SRC))]).render();
+        roundtrip(handle.addr(), &req);
+
+        // Wait for a checkpoint to land, then crash.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.hub().cache_checkpoints.get() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "checkpointer never fired"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.abort();
+        drop(handle);
+
+        let text = std::fs::read_to_string(&path).expect("periodic snapshot must exist");
+        let sections = crate::persist::parse(&text).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert!(
+            !sections[0].entries.is_empty(),
+            "pre-crash decisions survive in the periodic snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Sockets dropped without any protocol goodbye must release the

@@ -98,6 +98,27 @@ pub trait DecisionModel: Send + Sync {
     fn decide_batch(&self, samples: &[&PathSample]) -> Vec<(usize, usize)>;
 }
 
+/// A decision store shared *across* [`ServeHandle`]s — across A/B sides
+/// of a hub, across hot-swap reloads, and (through `nvc-fleet`'s
+/// content store + gossip transfer) across peer nodes.
+///
+/// The per-handle sharded LRU stays the first-level cache; a handle
+/// built with [`ServeHandle::start_with_store`] probes this store on an
+/// LRU miss and publishes every leader-computed decision into it. Keys
+/// are content addresses `(checkpoint_hash, sample_key)`: a decision is
+/// a pure function of both, so an entry is valid wherever that exact
+/// checkpoint serves, and a store shared by models with *different*
+/// checkpoints can never leak a decision between them.
+pub trait SharedDecisionStore: Send + Sync {
+    /// Looks up the decision for `sample_key` under `checkpoint_hash`.
+    fn get(&self, checkpoint_hash: u64, sample_key: u64) -> Option<(usize, usize)>;
+
+    /// Publishes a computed decision. Implementations must be
+    /// last-write-wins idempotent: decisions are deterministic per
+    /// `(checkpoint_hash, sample_key)`, so concurrent publishes agree.
+    fn put(&self, checkpoint_hash: u64, sample_key: u64, decision: (usize, usize));
+}
+
 /// Tuning knobs for the service.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeConfig {

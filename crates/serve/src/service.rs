@@ -20,10 +20,15 @@ use crate::cache::{CacheStats, ShardedLruCache};
 use crate::json::{obj, Json};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{LoopReport, Request};
-use crate::{sample_key, DecisionModel, ServeConfig};
+use crate::{sample_key, DecisionModel, ServeConfig, SharedDecisionStore};
 
 /// How long a request waits for the batch workers before giving up.
 const DECISION_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How many recently decided samples the handle keeps around for
+/// post-reload warmup replay (the cache itself only holds one-way
+/// hashes, which cannot be re-decided under a new checkpoint).
+const WARM_SAMPLE_CAPACITY: usize = 4096;
 
 /// Service failures surfaced to clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +84,15 @@ struct Inner {
     /// them. Concurrent misses on the same key coalesce onto one model
     /// forward instead of embedding the same loop twice.
     inflight: Mutex<HashMap<u64, Vec<Sender<(usize, usize)>>>>,
+    /// Second-level decision store shared beyond this handle (A/B
+    /// sides, reloads, peer nodes), with the checkpoint hash this
+    /// handle's decisions are content-addressed under. `None` keeps the
+    /// pre-fleet single-cache behavior.
+    shared: Option<(u64, Arc<dyn SharedDecisionStore>)>,
+    /// Recently decided samples by cache key, kept (bounded) so a
+    /// hot-swap reload can replay them as shadow traffic against the
+    /// fresh checkpoint — the cache keys alone are one-way hashes.
+    warm: Mutex<HashMap<u64, PathSample>>,
 }
 
 /// One key's resolution state between [`Inner::begin_decision`] and
@@ -106,6 +120,21 @@ impl Inner {
         if let Some(pair) = hit {
             nvc_obs::marker("cache_hit");
             return PendingDecision::Cached(pair);
+        }
+        // Off the hit path (one global lock would contend the warm
+        // loop): every *miss* records its sample for warmup replay.
+        self.retain_warm_sample(key, sample);
+        // Second level: the shared content-addressed store. A hit there
+        // (computed by the A/B twin, a previous incarnation of this
+        // checkpoint, or a peer node) back-fills the LRU so the next
+        // probe stays local.
+        if let Some((ckpt, store)) = &self.shared {
+            if let Some(pair) = store.get(*ckpt, key) {
+                self.cache.insert(key, pair);
+                self.metrics.shared_hits.inc();
+                nvc_obs::marker("shared_hit");
+                return PendingDecision::Cached(pair);
+            }
         }
         {
             let mut inflight = self.inflight.lock();
@@ -138,6 +167,10 @@ impl Inner {
                     return match recv_decision(&rx) {
                         Ok(pair) => {
                             self.cache.insert(key, pair);
+                            if let Some((ckpt, store)) = &self.shared {
+                                store.put(*ckpt, key, pair);
+                                self.metrics.shared_publishes.inc();
+                            }
                             let waiters = self.inflight.lock().remove(&key).unwrap_or_default();
                             for w in waiters {
                                 // A dropped receiver (abandoned request)
@@ -168,6 +201,17 @@ impl Inner {
             }
         }
     }
+
+    /// Remembers `sample` under its key for post-reload warmup replay.
+    /// Bounded: once full, already-known keys keep refreshing knowledge
+    /// of nothing (they are present) and new keys are dropped — the
+    /// replay set is best-effort shadow traffic, not a ledger.
+    fn retain_warm_sample(&self, key: u64, sample: &PathSample) {
+        let mut warm = self.warm.lock();
+        if warm.len() < WARM_SAMPLE_CAPACITY || warm.contains_key(&key) {
+            warm.entry(key).or_insert_with(|| sample.clone());
+        }
+    }
 }
 
 /// A running vectorization service: worker threads + cache + metrics.
@@ -191,6 +235,20 @@ impl ServeHandle {
     /// and kernel shards are bitwise-identical at any count — so
     /// worker concurrency never changes a decision, only its latency.
     pub fn start(model: Arc<dyn DecisionModel>, cfg: ServeConfig) -> Self {
+        ServeHandle::start_with_store(model, cfg, None)
+    }
+
+    /// [`ServeHandle::start`] with a second-level decision store shared
+    /// beyond this handle. `shared` carries the checkpoint hash this
+    /// handle's decisions are content-addressed under — entries only
+    /// flow between handles serving the *same* checkpoint, no matter
+    /// how many handles (A/B sides, reload generations, peers via
+    /// gossip) share the store object.
+    pub fn start_with_store(
+        model: Arc<dyn DecisionModel>,
+        cfg: ServeConfig,
+        shared: Option<(u64, Arc<dyn SharedDecisionStore>)>,
+    ) -> Self {
         // `NVC_TRACE=path` turns request tracing on for any embedding of
         // the service — daemon, hub, tests — without CLI plumbing.
         nvc_obs::init_from_env();
@@ -205,6 +263,8 @@ impl ServeHandle {
             ),
             metrics: Metrics::default(),
             inflight: Mutex::new(HashMap::new()),
+            shared,
+            warm: Mutex::new(HashMap::new()),
             model,
         });
         let workers = (0..cfg.workers.max(1))
@@ -378,6 +438,7 @@ impl ServeHandle {
             ("requests", Json::from(m.requests)),
             ("errors", Json::from(m.errors)),
             ("loops_served", Json::from(m.loops_served)),
+            ("warmup_replayed", Json::from(m.warmup_replayed)),
             (
                 "cache",
                 obj(vec![
@@ -394,6 +455,8 @@ impl ServeHandle {
                         "entries_invalidated_by_version",
                         Json::from(m.entries_invalidated_by_version),
                     ),
+                    ("shared_hits", Json::from(m.shared_hits)),
+                    ("shared_publishes", Json::from(m.shared_publishes)),
                     (
                         "occupancy",
                         Json::Arr(c.occupancy.iter().map(|&o| Json::from(o)).collect()),
@@ -556,6 +619,33 @@ impl ServeHandle {
     /// their snapshot was taken under a different checkpoint.
     pub fn record_invalidated_entries(&self, n: u64) {
         self.inner.metrics.entries_invalidated_by_version.add(n);
+    }
+
+    /// The samples this handle has decided (bounded, miss-path only) —
+    /// the shadow-traffic set a hot-swap reload replays against the
+    /// replacement handle so it starts warm.
+    pub fn warm_samples(&self) -> Vec<PathSample> {
+        self.inner.warm.lock().values().cloned().collect()
+    }
+
+    /// Replays `samples` as shadow traffic: each one is decided through
+    /// the normal cache → shared-store → model path (so already-warm
+    /// keys cost a probe, not a forward) and counted in
+    /// `warmup_replayed`. Returns how many were decided; stops early if
+    /// the handle shuts down mid-replay.
+    pub fn warm_replay(&self, samples: &[PathSample]) -> usize {
+        let mut replayed = 0;
+        for s in samples {
+            match self.decide_sample(s) {
+                Ok(_) => {
+                    self.inner.metrics.warmup_replayed.inc();
+                    replayed += 1;
+                }
+                Err(ServeError::ShuttingDown) => break,
+                Err(_) => {}
+            }
+        }
+        replayed
     }
 }
 
@@ -1004,6 +1094,72 @@ void f(int n) {
             .map(|b| b.as_array().unwrap()[1].as_f64().unwrap())
             .sum();
         assert_eq!(total, 1.0);
+    }
+
+    /// Plain map-backed shared store for exercising the two-level path.
+    #[derive(Default)]
+    struct MapStore(Mutex<HashMap<(u64, u64), (usize, usize)>>);
+
+    impl SharedDecisionStore for MapStore {
+        fn get(&self, ckpt: u64, key: u64) -> Option<(usize, usize)> {
+            self.0.lock().get(&(ckpt, key)).copied()
+        }
+
+        fn put(&self, ckpt: u64, key: u64, pair: (usize, usize)) {
+            self.0.lock().insert((ckpt, key), pair);
+        }
+    }
+
+    #[test]
+    fn shared_store_spans_handles_of_one_checkpoint_only() {
+        let store: Arc<MapStore> = Arc::new(MapStore::default());
+        let shared = |ckpt: u64| Some((ckpt, Arc::clone(&store) as Arc<dyn SharedDecisionStore>));
+        let h1 =
+            ServeHandle::start_with_store(Arc::new(Stub::new()), ServeConfig::default(), shared(7));
+        let out = h1.vectorize(SRC).unwrap();
+        assert!(h1.metrics().shared_publishes > 0, "leader must publish");
+
+        // A second handle under the same checkpoint hash serves the
+        // whole file from the shared store: zero model forwards, and
+        // the decisions are bitwise identical.
+        let h2 =
+            ServeHandle::start_with_store(Arc::new(Stub::new()), ServeConfig::default(), shared(7));
+        let again = h2.vectorize(SRC).unwrap();
+        assert_eq!(again.source, out.source);
+        assert!(again.loops.iter().all(|l| l.cached));
+        let m = h2.metrics();
+        assert!(m.shared_hits > 0);
+        assert_eq!(m.batches, 0, "shared hits must skip the model");
+
+        // A different checkpoint hash must never see those entries.
+        let h3 =
+            ServeHandle::start_with_store(Arc::new(Stub::new()), ServeConfig::default(), shared(9));
+        h3.vectorize(SRC).unwrap();
+        let m = h3.metrics();
+        assert_eq!(m.shared_hits, 0, "cross-checkpoint leak");
+        assert!(m.batches > 0, "other checkpoint must recompute");
+    }
+
+    #[test]
+    fn warm_replay_decides_counts_and_heats_the_cache() {
+        let h = start(ServeConfig::default());
+        let out = h.vectorize(SRC).unwrap();
+        let samples = h.warm_samples();
+        assert_eq!(samples.len(), 2, "both misses must be retained");
+
+        let h2 = start(ServeConfig::default());
+        let replayed = h2.warm_replay(&samples);
+        assert_eq!(replayed, samples.len());
+        assert_eq!(h2.metrics().warmup_replayed, replayed as u64);
+        // The replayed keys now serve the original file entirely warm.
+        let warm = h2.vectorize(SRC).unwrap();
+        assert!(warm.loops.iter().all(|l| l.cached));
+        assert_eq!(warm.source, out.source);
+
+        // Replay against a drained handle reports zero, not a hang.
+        let h3 = start(ServeConfig::default());
+        h3.shutdown();
+        assert_eq!(h3.warm_replay(&samples), 0);
     }
 
     #[test]
