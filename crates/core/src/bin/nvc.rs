@@ -42,6 +42,10 @@ const USAGE: &str = "usage:
           [--advertise ADDR] [--announce-ttl-ms N] [--peers ADDR[,ADDR…]]
           [--workers N] [--batch N] [--flush-us N] [--cache N] [--shards N]
           [--matmul-threads N] [--kernel-mode strict|fast] [--trace FILE]
+          [--learn] [--learn-journal FILE] [--learn-promotion-log FILE]
+          [--learn-model NAME] [--learn-challenger NAME] [--learn-checkpoint FILE]
+          [--learn-interval-ms N] [--learn-min-reports N] [--learn-canary-weight N]
+          [--learn-z Z] [--learn-min-cohort N] [--learn-iters N]
   nvc registry [--listen ADDR]
   nvc resolve --registry ADDR [--model NAME]
 
@@ -60,6 +64,18 @@ connection, kept for parity testing.
 --trace FILE exports per-request spans as JSON lines (equivalent to
 NVC_TRACE=FILE); --journal FILE appends one JSON line of training
 telemetry per iteration. Tracing never changes decisions or weights.
+
+--learn enables online learning from serve traffic: clients post measured
+rewards back through the `report` verb (correlated by the `key` stamped on
+each vectorize loop report); the hub journals them (--learn-journal,
+append mode — the corpus survives restarts), periodically fine-tunes a
+challenger from the champion's weights (--learn-iters PPO iterations once
+--learn-min-reports accumulate), canaries it at --learn-canary-weight
+through the registry A/B split, and promotes it over --learn-model via the
+atomic reload once its reward cohort clears a Welch z of --learn-z with
+--learn-min-cohort observations per side — or parks it at weight 0 on a
+loss. A regressing promotion is rolled back automatically. Lifecycle
+events append to --learn-promotion-log.
 
 Fleet: `nvc registry` runs the discovery registry; `nvc hub --announce
 REGISTRY` heartbeats (model, checkpoint hash, address) there so `nvc
@@ -321,6 +337,18 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Flag::value("--advertise"),
         Flag::value("--announce-ttl-ms"),
         Flag::value("--peers"),
+        Flag::switch("--learn"),
+        Flag::value("--learn-journal"),
+        Flag::value("--learn-promotion-log"),
+        Flag::value("--learn-model"),
+        Flag::value("--learn-challenger"),
+        Flag::value("--learn-checkpoint"),
+        Flag::value("--learn-interval-ms"),
+        Flag::value("--learn-min-reports"),
+        Flag::value("--learn-canary-weight"),
+        Flag::value("--learn-z"),
+        Flag::value("--learn-min-cohort"),
+        Flag::value("--learn-iters"),
     ];
     flags.extend(SERVE_KNOBS);
     let p = parse_args(args, &flags, USAGE)?;
@@ -368,9 +396,61 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Every hub runs the content-addressed shared store: it deduplicates
     // decisions across A/B sides and reloads locally, and is what peer
     // gossip transfers land in.
-    let hub = Hub::new(cfg.hub.clone(), cfg.serve.clone())
+    let mut hub = Hub::new(cfg.hub.clone(), cfg.serve.clone())
         .with_loader(loader)
         .with_shared_store(Arc::new(neurovectorizer::ContentStore::default()));
+    if p.has("--learn") {
+        // The champion defaults to the first --model spec; its
+        // checkpoint file is the fine-tune warm start.
+        let first_name = models[0]
+            .split_once('=')
+            .map(|(n, _)| n.to_string())
+            .ok_or_else(|| format!("--model wants NAME=CHECKPOINT, got `{}`", models[0]))?;
+        let champion = p
+            .get("--learn-model")
+            .map(str::to_string)
+            .unwrap_or(first_name);
+        let champion_checkpoint = models
+            .iter()
+            .find_map(|spec| {
+                spec.split_once('=')
+                    .filter(|(n, _)| *n == champion)
+                    .map(|(_, path)| path.to_string())
+            })
+            .ok_or_else(|| format!("--learn-model `{champion}` has no --model NAME=CHECKPOINT"))?;
+        let lcfg = neurovectorizer::LearnConfig {
+            journal_path: p
+                .get("--learn-journal")
+                .unwrap_or("nvc-learn.jsonl")
+                .to_string(),
+            promotion_log_path: p.get("--learn-promotion-log").map(str::to_string),
+            champion: champion.clone(),
+            challenger: p
+                .get("--learn-challenger")
+                .unwrap_or("challenger")
+                .to_string(),
+            champion_checkpoint,
+            challenger_checkpoint: p
+                .get("--learn-checkpoint")
+                .unwrap_or("nvc-challenger.ckpt")
+                .to_string(),
+            min_reports: p.parse_value::<usize>("--learn-min-reports")?.unwrap_or(50),
+            canary_weight: p.parse_value::<u32>("--learn-canary-weight")?.unwrap_or(1),
+            z_threshold: p.parse_value::<f64>("--learn-z")?.unwrap_or(2.0),
+            min_cohort: p.parse_value::<u64>("--learn-min-cohort")?.unwrap_or(20),
+            interval_ms: p.parse_value::<u64>("--learn-interval-ms")?.unwrap_or(1000),
+        };
+        let iters = p.parse_value::<usize>("--learn-iters")?.unwrap_or(20);
+        eprintln!(
+            "nvc hub: online learning on (champion `{champion}`, journal {}, z {}, canary weight {})",
+            lcfg.journal_path, lcfg.z_threshold, lcfg.canary_weight
+        );
+        hub = hub.with_learning(
+            lcfg,
+            NeuroVectorizer::challenger_trainer(cfg.clone(), iters),
+        )?;
+    }
+    let hub = hub;
     for spec in models {
         let (name, path) = spec
             .split_once('=')
@@ -429,6 +509,13 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
+    // The background learner: journal → fine-tune → A/B → promote.
+    let learner = handle
+        .hub()
+        .learning()
+        .is_some()
+        .then(|| neurovectorizer::spawn_learner(Arc::clone(handle.hub())));
+
     // Registry announcements: heartbeat (model, hash, addr) so fleet
     // clients can resolve this node.
     let announcer = p.get("--announce").map(|registry| {
@@ -461,6 +548,9 @@ fn cmd_hub(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(a) = announcer {
         a.stop();
+    }
+    if let Some(l) = learner {
+        let _ = l.join();
     }
     handle.shutdown();
     eprintln!("nvc hub: drained and persisted; bye");

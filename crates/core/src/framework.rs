@@ -236,6 +236,46 @@ impl NeuroVectorizer {
         })
     }
 
+    /// Fine-tunes the current weights on any [`nvc_rl::BanditEnv`] —
+    /// notably an [`nvc_rl::ReplayEnv`] over journaled serve traffic.
+    /// Same PPO loop as [`NeuroVectorizer::train`], different reward
+    /// oracle.
+    pub fn fine_tune(
+        &mut self,
+        env: &mut impl nvc_rl::BanditEnv,
+        iterations: usize,
+    ) -> Vec<IterStats> {
+        self.trainer.train(env, iterations, &mut self.rng)
+    }
+
+    /// Builds the challenger trainer the hub's online-learning loop
+    /// uses: restore the champion checkpoint into a fresh model built
+    /// from `cfg`, replay the journaled reports into a
+    /// [`nvc_rl::ReplayEnv`], fine-tune for `iterations`, and write the
+    /// challenger checkpoint to the output path. Mirrors
+    /// [`NeuroVectorizer::hub_loader`]'s closure pattern so `nvc-hub`
+    /// stays decoupled from this crate.
+    pub fn challenger_trainer(cfg: NvConfig, iterations: usize) -> nvc_hub::ChallengerTrainer {
+        Box::new(move |records, champion_path, out_path| {
+            let text = std::fs::read_to_string(champion_path)
+                .map_err(|e| format!("read {champion_path}: {e}"))?;
+            let mut nv = NeuroVectorizer::new(cfg.clone());
+            nv.restore(&text)
+                .map_err(|e| format!("{champion_path}: {e}"))?;
+            let mut env = nvc_rl::ReplayEnv::new(cfg.ppo.action_dims, 0.0);
+            for r in records {
+                env.record(&r.sample, (r.vf_idx, r.if_idx), r.reward);
+            }
+            if env.is_empty() {
+                return Err("empty replay corpus".to_string());
+            }
+            nv.fine_tune(&mut env, iterations);
+            let tmp = format!("{out_path}.tmp");
+            std::fs::write(&tmp, nv.checkpoint()).map_err(|e| format!("write {tmp}: {e}"))?;
+            std::fs::rename(&tmp, out_path).map_err(|e| format!("rename {tmp}: {e}"))
+        })
+    }
+
     /// Restores weights from a checkpoint produced by
     /// [`NeuroVectorizer::checkpoint`]. The configuration must match the
     /// one the checkpoint was trained with.

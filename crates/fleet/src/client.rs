@@ -331,16 +331,19 @@ impl FleetClient {
         let mut last_err = String::from("no candidate nodes");
         for i in 0..attempts {
             let node = &nodes[(start + i) % nodes.len()];
-            if i > 0 {
-                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(Duration::from_millis(self.cfg.backoff_ms));
-            }
             match self.try_node(node, source) {
                 Ok(resp) => {
                     self.stats.ok.fetch_add(1, Ordering::Relaxed);
                     return Ok(resp);
                 }
                 Err(e) => last_err = format!("{} ({}): {e}", node.node, node.addr),
+            }
+            // Back off only when another attempt will actually run — a
+            // trailing sleep after the final failure is pure added latency
+            // on the error path.
+            if i + 1 < attempts {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(self.cfg.backoff_ms));
             }
         }
         Err(FleetError::PeersExhausted(last_err))
@@ -531,6 +534,58 @@ mod tests {
         // 3:1 split with generous tolerance.
         assert!(counts[0] > counts[1] * 2, "weights respected: {counts:?}");
         assert!(counts[1] > 0, "light node still sees traffic: {counts:?}");
+    }
+
+    /// Grabs a loopback port that nothing listens on (bind, read, drop)
+    /// so connection attempts fail instantly with "refused".
+    fn dead_addr() -> String {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        drop(l);
+        addr
+    }
+
+    #[test]
+    fn error_path_skips_the_trailing_backoff_sleep() {
+        let backoff_ms = 150u64;
+        let cfg = FleetConfig::new("127.0.0.1:1") // never contacted
+            .with_model("prod")
+            .with_retries(2)
+            .with_backoff_ms(backoff_ms)
+            .with_resolve_ttl_ms(3_600_000);
+        let client = FleetClient::new(cfg);
+        // Seed the resolution cache directly: two dead nodes, fresh TTL,
+        // so vectorize never talks to a registry.
+        let dead: Vec<ResolvedNode> = ["a", "b"]
+            .iter()
+            .map(|n| ResolvedNode {
+                node: n.to_string(),
+                addr: dead_addr(),
+                age_ms: 0,
+                models: vec![ModelAd {
+                    model: "prod".into(),
+                    checkpoint_hash: 0xAB,
+                    weight: 1,
+                }],
+            })
+            .collect();
+        *client.nodes.lock() = (dead, Some(Instant::now()));
+
+        let t = Instant::now();
+        let err = client.vectorize("int f(){return 0;}");
+        let elapsed = t.elapsed();
+        assert!(matches!(err, Err(FleetError::PeersExhausted(_))));
+        // Two attempts → exactly one backoff between them; a trailing
+        // sleep after the final failure would push this past 2×.
+        assert!(
+            elapsed >= Duration::from_millis(backoff_ms),
+            "missing inter-attempt backoff: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(2 * backoff_ms),
+            "trailing backoff slept after the final attempt: {elapsed:?}"
+        );
+        assert_eq!(client.stats().failovers, 1, "one backoff, not two");
     }
 
     #[test]

@@ -106,7 +106,24 @@ impl NodeAnnouncement {
             .and_then(Json::as_str)
             .ok_or("announce missing `addr`")?
             .to_string();
-        let ttl_ms = v.get("ttl_ms").and_then(Json::as_f64).unwrap_or(3000.0) as u64;
+        // A missing `ttl_ms` gets the default; a *present* one must be a
+        // finite positive number. The old `as_f64 … as u64` coercion
+        // turned NaN/negative TTLs into 0 (clamped to 1ms downstream), so
+        // a buggy announcer flapped in and out of resolution instead of
+        // being told its announcement is malformed.
+        let ttl_ms = match v.get("ttl_ms") {
+            None => 3000,
+            Some(t) => {
+                let f = t.as_f64().ok_or("announce `ttl_ms` must be a number")?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err(format!(
+                        "announce `ttl_ms` must be a positive number, got {}",
+                        t.render()
+                    ));
+                }
+                f as u64
+            }
+        };
         let mut models = Vec::new();
         for m in v
             .get("models")
@@ -373,6 +390,24 @@ mod tests {
         let nodes = core.resolve_at(None, t0 + Duration::from_millis(200));
         assert_eq!(nodes[0].node, "fresh");
         assert_eq!(nodes[1].node, "stale");
+    }
+
+    #[test]
+    fn malformed_ttl_is_rejected_not_coerced() {
+        let base = ann("n1", 2500).to_json().render();
+        // Sanity: the well-formed announcement parses, and one with no
+        // ttl_ms at all gets the 3000ms default.
+        assert!(NodeAnnouncement::from_json(&Json::parse(&base).unwrap()).is_ok());
+        let missing = base.replace("\"ttl_ms\":2500,", "");
+        let parsed = NodeAnnouncement::from_json(&Json::parse(&missing).unwrap()).unwrap();
+        assert_eq!(parsed.ttl_ms, 3000);
+        // Present-but-malformed values are errors, not 1ms flap fodder.
+        for bad in ["-1", "0", "0.4", "-2e9", "\"soon\"", "null", "true"] {
+            let body = base.replace("\"ttl_ms\":2500", &format!("\"ttl_ms\":{bad}"));
+            let v = Json::parse(&body).unwrap();
+            let err = NodeAnnouncement::from_json(&v);
+            assert!(err.is_err(), "ttl_ms={bad} was accepted: {err:?}");
+        }
     }
 
     #[test]

@@ -348,6 +348,26 @@ mod tests {
     }
 
     #[test]
+    fn malformed_ttl_announce_gets_an_error_response() {
+        let handle = start();
+        let body = announcement("bad", 60_000)
+            .to_json()
+            .render()
+            .replace("\"ttl_ms\":60000", "\"ttl_ms\":-5");
+        let resp = roundtrip(handle.addr(), &body);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("ttl_ms"));
+        // The malformed node must not have been registered.
+        let nodes = roundtrip(handle.addr(), "{\"op\":\"resolve\"}");
+        assert_eq!(nodes.get("nodes").unwrap().as_array().unwrap().len(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
     fn announce_then_resolve_over_tcp() {
         let handle = start();
         let ack = roundtrip(

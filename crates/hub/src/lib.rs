@@ -31,6 +31,8 @@
 //! → {"op":"metrics"}                   ← {"ok":true,"stats":{…,"models":{…}}}
 //! → {"op":"reload","model":"prod","checkpoint":"new.ckpt"}
 //! ← {"ok":true,"reloaded":"prod","checkpoint_hash":"…"}
+//! → {"op":"report","model":"prod","key":"…","reward":0.31}   # measured reward
+//! ← {"ok":true,"recorded":true,"reports":…}   # (learning hubs; see `learn`)
 //! → {"op":"cache_export"}              ← every model's cache image (gossip)
 //! → {"op":"shutdown"}                  ← ack, then the hub drains and persists
 //! ```
@@ -49,6 +51,7 @@
 
 pub mod announce;
 mod event;
+pub mod learn;
 pub mod persist;
 pub mod registry;
 pub mod server;
@@ -64,6 +67,10 @@ use nvc_serve::json::obj;
 use nvc_serve::{DecisionModel, Json, LoopReport, ServeConfig};
 
 pub use announce::{spawn_announcer, AnnounceConfig, Announcer};
+pub use learn::{
+    spawn_learner, welch_z, ChallengerTrainer, Cohort, LearnConfig, LearnEvent, LearnState,
+    ReportRecord,
+};
 pub use persist::CacheSection;
 pub use registry::{ModelEntry, ModelRegistry, ModelSpec};
 pub use server::HubHandle;
@@ -252,6 +259,9 @@ pub struct Hub {
     transfer_entries: Arc<Counter>,
     /// The fleet's content-addressed shared store, when attached.
     shared: Option<Arc<nvc_fleet::ContentStore>>,
+    /// The online-learning loop's state, when enabled
+    /// ([`Hub::with_learning`]).
+    learn: Option<Arc<learn::LearnState>>,
     /// Serializes snapshot writes: the periodic checkpointer, `reload`'s
     /// pre-swap persist, and shutdown's final persist all target the
     /// same temp path.
@@ -279,6 +289,7 @@ impl Hub {
             transfers: obs.counter("hub_transfers_total"),
             transfer_entries: obs.counter("hub_transfer_entries_total"),
             shared: None,
+            learn: None,
             persist_lock: parking_lot::Mutex::new(()),
             obs,
             shutting_down: AtomicBool::new(false),
@@ -306,6 +317,30 @@ impl Hub {
     /// The attached shared decision store, if any.
     pub fn shared_store(&self) -> Option<&Arc<nvc_fleet::ContentStore>> {
         self.shared.as_ref()
+    }
+
+    /// Enables online learning: opens the corpus journal (append mode —
+    /// existing reports replay into memory), the promotion log, and the
+    /// `report` verb, and arms [`Hub::learn_step`] /
+    /// [`learn::spawn_learner`].
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Io`] when a journal cannot be opened or the existing
+    /// corpus is corrupt.
+    pub fn with_learning(
+        mut self,
+        cfg: learn::LearnConfig,
+        trainer: learn::ChallengerTrainer,
+    ) -> Result<Self, HubError> {
+        let state = learn::LearnState::new(cfg, trainer, &self.obs)?;
+        self.learn = Some(Arc::new(state));
+        Ok(self)
+    }
+
+    /// The online-learning state, when enabled.
+    pub fn learning(&self) -> Option<&Arc<learn::LearnState>> {
+        self.learn.as_ref()
     }
 
     /// The hub's configuration.
@@ -500,6 +535,21 @@ impl Hub {
                     None => Json::Null,
                 },
             ),
+            (
+                "learning",
+                match &self.learn {
+                    Some(ls) => obj(vec![
+                        ("reports", Json::from(ls.reports.get())),
+                        ("report_errors", Json::from(ls.report_errors.get())),
+                        ("corpus", Json::from(ls.corpus_len() as u64)),
+                        ("trains", Json::from(ls.trains.get())),
+                        ("promotions", Json::from(ls.promotions.get())),
+                        ("demotions", Json::from(ls.demotions.get())),
+                        ("rollbacks", Json::from(ls.rollbacks.get())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
             ("models", Json::Obj(models)),
         ])
     }
@@ -633,6 +683,84 @@ impl Hub {
                     with_id(
                         id,
                         vec![("ok", Json::from(true)), ("sections", Json::Arr(sections))],
+                    ),
+                    true,
+                )
+            }
+            Some("report") => {
+                // Online-learning feedback: a client echoes the `key`
+                // from a vectorize response together with the reward it
+                // measured for that decision. See `learn` module docs.
+                let Some(ls) = &self.learn else {
+                    return fail(id, "learning is not enabled on this hub".into());
+                };
+                let refuse = |e: String| {
+                    ls.report_errors.inc();
+                    fail(id, e)
+                };
+                let Some(model) = v.get("model").and_then(Json::as_str) else {
+                    return refuse("report requires a `model` field".into());
+                };
+                let Some(key) = v
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                else {
+                    return refuse("report requires a hex `key` field".into());
+                };
+                let Some(reward) = v
+                    .get("reward")
+                    .and_then(Json::as_f64)
+                    .filter(|r| r.is_finite())
+                else {
+                    return refuse("report requires a finite numeric `reward`".into());
+                };
+                let Some(entry) = self.registry.get(model) else {
+                    return refuse(HubError::UnknownModel(model.to_string()).to_string());
+                };
+                // Resolve the key to the decided sample: warm set first,
+                // then re-extraction from a client-provided `source`
+                // (the warm set is bounded, so old keys age out of it).
+                let sample = entry.handle.lookup_sample(key).or_else(|| {
+                    let src = v.get("source").and_then(Json::as_str)?;
+                    let embed = entry.handle.embed_config();
+                    nvc_embed::extract_loop_samples(src, &embed)
+                        .ok()?
+                        .into_iter()
+                        .map(|site| site.sample)
+                        .find(|s| nvc_serve::sample_key(s) == key)
+                });
+                let Some(sample) = sample else {
+                    return refuse(format!(
+                        "unknown report key {key:016x} (include `source` to re-correlate)"
+                    ));
+                };
+                // The decision the reward belongs to: cache probe, then
+                // the deterministic decide path recomputes it.
+                let decision = entry
+                    .handle
+                    .lookup_decision(key)
+                    .or_else(|| entry.handle.decide_sample(&sample).ok().map(|(p, _)| p));
+                let Some((vf_idx, if_idx)) = decision else {
+                    return refuse(format!("no decision available for key {key:016x}"));
+                };
+                ls.record(learn::ReportRecord {
+                    model: entry.name.clone(),
+                    checkpoint_hash: entry.checkpoint_hash,
+                    key,
+                    vf_idx,
+                    if_idx,
+                    reward,
+                    sample,
+                });
+                (
+                    with_id(
+                        id,
+                        vec![
+                            ("ok", Json::from(true)),
+                            ("recorded", Json::from(true)),
+                            ("reports", Json::from(ls.reports.get())),
+                        ],
                     ),
                     true,
                 )

@@ -4,7 +4,7 @@
 //! learning loop replay them.
 
 use std::fmt;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
@@ -24,6 +24,16 @@ impl Journal {
     /// Creates (truncating) a journal file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
         let file = File::create(path)?;
+        Ok(Journal::from_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Opens a journal at `path` in append mode, creating it if missing.
+    /// Existing lines survive — this is the constructor for corpora that
+    /// must accumulate across process restarts (the hub's online-learning
+    /// journal); per-run telemetry keeps [`Journal::create`]'s truncate
+    /// semantics.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Journal::from_writer(Box::new(BufWriter::new(file))))
     }
 
@@ -118,6 +128,33 @@ mod tests {
         j.write_line("{\"iter\":1}");
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "{\"iter\":0}\n{\"iter\":1}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_mode_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!("nvc-journal-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("learn.jsonl");
+        {
+            let j = Journal::append(&path).unwrap();
+            j.write_line("{\"report\":0}");
+        }
+        // A second open (the restarted process) must keep the first
+        // run's lines and extend them.
+        {
+            let j = Journal::append(&path).unwrap();
+            j.write_line("{\"report\":1}");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"report\":0}\n{\"report\":1}\n");
+        // `create` on the same path still truncates.
+        let j = Journal::create(&path).unwrap();
+        j.write_line("{\"fresh\":true}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"fresh\":true}\n"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

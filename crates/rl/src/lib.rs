@@ -25,10 +25,12 @@
 
 pub mod policy;
 pub mod ppo;
+pub mod replay;
 pub mod spaces;
 
 pub use policy::{PolicyConfig, PolicyNet};
 pub use ppo::{BanditEnv, IterStats, PpoConfig, PpoTrainer};
+pub use replay::ReplayEnv;
 pub use spaces::{ActionDims, ActionSpaceKind};
 
 #[cfg(test)]

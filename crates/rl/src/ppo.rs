@@ -238,6 +238,24 @@ impl PpoTrainer {
         let collect_us = t_collect.elapsed().as_micros() as u64;
         let t_update = std::time::Instant::now();
         self.steps += batch.len() as u64;
+        // An empty batch (train_batch 0, or a replay corpus drained
+        // between cycles) must skip the update with defined stats, not
+        // divide by zero into NaN rewards and a poisoned policy.
+        if batch.is_empty() {
+            self.iters += 1;
+            let stats = IterStats {
+                steps: self.steps,
+                reward_mean: 0.0,
+                loss: 0.0,
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                entropy: 0.0,
+                collect_us,
+                update_us: t_update.elapsed().as_micros() as u64,
+            };
+            self.journal_iter(&stats);
+            return stats;
+        }
         let reward_mean = batch.iter().map(|t| t.reward).sum::<f64>() / batch.len() as f64;
 
         // Advantages: single-step episodes, so A = r − V(s), normalized.
@@ -251,7 +269,12 @@ impl PpoTrainer {
             })
             .sum::<f32>()
             / batch.len() as f32;
-        let std = var.sqrt().max(1e-6);
+        // Epsilon guard: a constant-reward batch (exactly what early
+        // online fine-tuning over a small replay corpus produces) has
+        // zero advantage variance; dividing by a raw 0 std would turn
+        // every advantage into NaN. Any real std is far above the clamp,
+        // so non-degenerate batches are bitwise-unchanged.
+        let std = var.sqrt().max(1e-8);
         for t in &mut batch {
             t.advantage = (t.reward as f32 - t.value - mean_adv) / std;
         }
@@ -285,6 +308,13 @@ impl PpoTrainer {
             collect_us,
             update_us: t_update.elapsed().as_micros() as u64,
         };
+        self.journal_iter(&stats);
+        stats
+    }
+
+    /// Appends one telemetry line for a finished iteration, if a journal
+    /// is attached.
+    fn journal_iter(&self, stats: &IterStats) {
         if let Some(journal) = &self.journal {
             journal.write_line(&format!(
                 concat!(
@@ -303,7 +333,6 @@ impl PpoTrainer {
                 stats.update_us,
             ));
         }
-        stats
     }
 
     /// Greedy (deterministic) action for a loop sample.
@@ -1117,6 +1146,90 @@ mod tests {
             text.len(),
             "journal kept writing after detach"
         );
+    }
+
+    /// A bandit whose reward is the same constant for every (context,
+    /// action) — the degenerate regime early online fine-tuning sits in
+    /// when the replay corpus holds one repeated observation.
+    struct ConstantEnv {
+        contexts: Vec<PathSample>,
+    }
+
+    impl BanditEnv for ConstantEnv {
+        fn num_contexts(&self) -> usize {
+            self.contexts.len()
+        }
+
+        fn context(&self, idx: usize) -> &PathSample {
+            &self.contexts[idx]
+        }
+
+        fn action_dims(&self) -> ActionDims {
+            ActionDims { n_vf: 7, n_if: 5 }
+        }
+
+        fn reward(&mut self, _idx: usize, _action: (usize, usize)) -> f64 {
+            0.25
+        }
+    }
+
+    #[test]
+    fn constant_reward_batch_stays_finite() {
+        use nvc_embed::EmbedConfig;
+
+        let cfg = PpoConfig {
+            train_batch: 16,
+            minibatch: 8,
+            epochs: 2,
+            hidden: vec![8],
+            ..PpoConfig::default()
+        };
+        let mut trainer = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 13);
+        let mut env = ConstantEnv {
+            contexts: vec![PathSample {
+                starts: vec![1, 2, 3],
+                paths: vec![4, 5, 6],
+                ends: vec![7, 8, 9],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stats = trainer.train_iteration(&mut env, &mut rng);
+        assert_eq!(stats.reward_mean, 0.25);
+        for (name, x) in [
+            ("loss", stats.loss),
+            ("policy_loss", stats.policy_loss),
+            ("value_loss", stats.value_loss),
+            ("entropy", stats.entropy),
+        ] {
+            assert!(x.is_finite(), "{name} is not finite: {x}");
+        }
+        // The update must not have poisoned the weights: predictions
+        // still work and a second iteration stays finite too.
+        let _ = trainer.predict(&env.contexts[0]);
+        let again = trainer.train_iteration(&mut env, &mut rng);
+        assert!(again.loss.is_finite());
+    }
+
+    #[test]
+    fn empty_batch_skips_the_update_with_defined_stats() {
+        use nvc_embed::EmbedConfig;
+
+        let cfg = PpoConfig {
+            train_batch: 0,
+            hidden: vec![8],
+            ..PpoConfig::default()
+        };
+        let mut trainer = PpoTrainer::new(&cfg, &EmbedConfig::fast(), 13);
+        let mut env = ParityEnv::new(2);
+        let before = trainer.predict(env.context(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stats = trainer.train_iteration(&mut env, &mut rng);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.reward_mean, 0.0, "empty batch must not yield NaN");
+        assert!(stats.reward_mean.is_finite());
+        assert_eq!(stats.loss, 0.0);
+        // Skipped update: the policy is untouched.
+        assert_eq!(trainer.predict(env.context(0)), before);
     }
 
     #[test]

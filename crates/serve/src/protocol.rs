@@ -83,6 +83,11 @@ pub struct LoopReport {
     pub if_: u32,
     /// True when the decision came from the cache.
     pub cached: bool,
+    /// The loop's sample hash — the correlation key a client echoes back
+    /// in a `report` request to attribute a measured reward to this
+    /// decision. Rendered as 16 lowercase hex digits (JSON numbers lose
+    /// u64 precision).
+    pub key: u64,
 }
 
 impl LoopReport {
@@ -94,6 +99,7 @@ impl LoopReport {
             ("vf", Json::from(self.vf)),
             ("if", Json::from(self.if_)),
             ("cached", Json::from(self.cached)),
+            ("key", Json::from(format!("{:016x}", self.key))),
         ])
     }
 }
@@ -140,6 +146,7 @@ mod tests {
             vf: 8,
             if_: 2,
             cached: true,
+            key: 0xDEAD_BEEF,
         }
         .to_json();
         assert_eq!(j.get("function").unwrap().as_str(), Some("f"));
@@ -147,5 +154,6 @@ mod tests {
         assert_eq!(j.get("vf").unwrap().as_f64(), Some(8.0));
         assert_eq!(j.get("if").unwrap().as_f64(), Some(2.0));
         assert_eq!(j.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("key").unwrap().as_str(), Some("00000000deadbeef"));
     }
 }

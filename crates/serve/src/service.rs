@@ -390,6 +390,7 @@ impl ServeHandle {
                     vf: d.vf,
                     if_: d.if_,
                     cached,
+                    key: *key,
                 }
             })
             .collect();
@@ -626,6 +627,30 @@ impl ServeHandle {
     /// replacement handle so it starts warm.
     pub fn warm_samples(&self) -> Vec<PathSample> {
         self.inner.warm.lock().values().cloned().collect()
+    }
+
+    /// The embedding vocabulary configuration of the underlying model —
+    /// what a caller needs to re-extract samples from source text with
+    /// keys that agree with this handle's decisions.
+    pub fn embed_config(&self) -> nvc_embed::EmbedConfig {
+        self.inner.model.embed_config().clone()
+    }
+
+    /// The sample behind a decision `key`, if this handle still holds it
+    /// in its warm set. The online-learning loop uses this to correlate a
+    /// client's `report` (which echoes the key from a vectorize response)
+    /// back to the path-context sample the decision was made on. The warm
+    /// set is bounded and miss-path-only, so `None` is an expected answer
+    /// for old or cache-hit-only keys — callers fall back to re-extracting
+    /// from the reported source.
+    pub fn lookup_sample(&self, key: u64) -> Option<PathSample> {
+        self.inner.warm.lock().get(&key).cloned()
+    }
+
+    /// The cached decision for `key`, if still resident. Pure probe: no
+    /// model fallback, no LRU-order perturbation beyond the read itself.
+    pub fn lookup_decision(&self, key: u64) -> Option<(usize, usize)> {
+        self.inner.cache.get(key)
     }
 
     /// Replays `samples` as shadow traffic: each one is decided through
